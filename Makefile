@@ -1,0 +1,44 @@
+# Common development tasks. Everything is stdlib-only Go; no external
+# tooling required.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench cover study examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One benchmark pass over every paper figure/table plus the micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Reproduce the paper's full simulation study (40 cases, both weightings,
+# all extension sweeps). Takes a few minutes on one core.
+study:
+	$(GO) run ./cmd/stagesim -cases 40 -weights both -congestion -gamma -failures -serial -arrivals -csv results/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/badd
+	$(GO) run ./examples/weathermap
+	$(GO) run ./examples/euratio
+	$(GO) run ./examples/dynamic
+	$(GO) run ./examples/optimalitygap
+
+clean:
+	rm -f cover.out

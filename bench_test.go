@@ -1,0 +1,310 @@
+// Benchmarks regenerate every table and figure of the paper's evaluation
+// (§5) at full paper scale: BenchmarkFigure2..5 run the exact scheduler
+// sweeps behind each figure on a paper-parameter scenario, and the
+// remaining benchmarks cover the §5.4 tables (weighting comparison,
+// priority-first baseline), the technical-report extras, and the
+// future-work congestion sweep. Micro-benchmarks for the core machinery
+// (generation, one Dijkstra-driven schedule per heuristic, bounds) sit at
+// the end.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package datastaging_test
+
+import (
+	"testing"
+	"time"
+
+	"datastaging"
+)
+
+// benchScenario returns one fixed paper-scale scenario (10-12 machines,
+// 20-40 requests per machine).
+func benchScenario(b *testing.B) *datastaging.Scenario {
+	b.Helper()
+	sc, err := datastaging.Generate(datastaging.DefaultParams(), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc
+}
+
+// sweepPairs runs every (pair, sweep point) combination once on the
+// scenario, the unit of work behind one figure.
+func sweepPairs(b *testing.B, sc *datastaging.Scenario, pairs []datastaging.Pair, w datastaging.Weights) float64 {
+	b.Helper()
+	var total float64
+	for _, pair := range pairs {
+		for _, pt := range datastaging.StandardSweep() {
+			cfg := datastaging.Config{
+				Heuristic: pair.Heuristic, Criterion: pair.Criterion,
+				EU: pt.EU, Weights: w,
+			}
+			res, err := datastaging.Schedule(sc, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += res.WeightedValue(sc, w)
+		}
+	}
+	return total
+}
+
+func pairsFor(h datastaging.Heuristic) []datastaging.Pair {
+	var out []datastaging.Pair
+	for _, p := range datastaging.Pairs() {
+		if p.Heuristic == h {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// BenchmarkFigure2 regenerates Figure 2: the best criterion (C4) for each
+// of the three heuristics across the full E-U sweep, plus all four bounds.
+func BenchmarkFigure2(b *testing.B) {
+	sc := benchScenario(b)
+	w := datastaging.Weights1x10x100
+	pairs := []datastaging.Pair{
+		{Heuristic: datastaging.PartialPath, Criterion: datastaging.C4},
+		{Heuristic: datastaging.FullPathOneDest, Criterion: datastaging.C4},
+		{Heuristic: datastaging.FullPathAllDests, Criterion: datastaging.C4},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweepPairs(b, sc, pairs, w)
+		datastaging.UpperBound(sc, w)
+		if _, _, err := runLowerBounds(sc, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func runLowerBounds(sc *datastaging.Scenario, w datastaging.Weights) (float64, float64, error) {
+	rd, err := datastaging.RandomDijkstra(sc, w, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	sd, err := datastaging.SingleDijkstraRandom(sc, w, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	datastaging.PossibleSatisfy(sc, w)
+	return rd.WeightedValue(sc, w), sd.WeightedValue(sc, w), nil
+}
+
+// BenchmarkFigure3 regenerates Figure 3: partial path × C1-C4 × sweep.
+func BenchmarkFigure3(b *testing.B) {
+	sc := benchScenario(b)
+	pairs := pairsFor(datastaging.PartialPath)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweepPairs(b, sc, pairs, datastaging.Weights1x10x100)
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: full path/one destination × C1-C4.
+func BenchmarkFigure4(b *testing.B) {
+	sc := benchScenario(b)
+	pairs := pairsFor(datastaging.FullPathOneDest)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweepPairs(b, sc, pairs, datastaging.Weights1x10x100)
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5: full path/all destinations ×
+// C2-C4 (C1 is the excluded pairing).
+func BenchmarkFigure5(b *testing.B) {
+	sc := benchScenario(b)
+	pairs := pairsFor(datastaging.FullPathAllDests)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweepPairs(b, sc, pairs, datastaging.Weights1x10x100)
+	}
+}
+
+// BenchmarkWeightingComparison regenerates the §5.4 weighting-scheme
+// comparison: the best pair under both weighting schemes.
+func BenchmarkWeightingComparison(b *testing.B) {
+	sc := benchScenario(b)
+	pair := []datastaging.Pair{{Heuristic: datastaging.FullPathOneDest, Criterion: datastaging.C4}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweepPairs(b, sc, pair, datastaging.Weights1x10x100)
+		sweepPairs(b, sc, pair, datastaging.Weights1x5x10)
+	}
+}
+
+// BenchmarkPriorityFirstBaseline regenerates the §5.4 baseline comparison:
+// the priority-first scheduler against the best heuristic pair.
+func BenchmarkPriorityFirstBaseline(b *testing.B) {
+	sc := benchScenario(b)
+	w := datastaging.Weights1x10x100
+	cfg := datastaging.Config{
+		Heuristic: datastaging.FullPathOneDest, Criterion: datastaging.C4,
+		EU: datastaging.EUFromLog10(2), Weights: w,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pf, err := datastaging.PriorityFirst(sc, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		heur, err := datastaging.Schedule(sc, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pf.WeightedValue(sc, w) > heur.WeightedValue(sc, w) {
+			b.Fatal("priority_first beat the heuristic — paper shape violated")
+		}
+	}
+}
+
+// BenchmarkExecutionTime regenerates the technical-report execution-time
+// rows: one full-scale run per heuristic at the best criterion.
+func BenchmarkExecutionTime(b *testing.B) {
+	sc := benchScenario(b)
+	for _, h := range []datastaging.Heuristic{
+		datastaging.PartialPath, datastaging.FullPathOneDest, datastaging.FullPathAllDests,
+	} {
+		b.Run(h.String(), func(b *testing.B) {
+			cfg := datastaging.Config{
+				Heuristic: h, Criterion: datastaging.C4,
+				EU: datastaging.EUFromLog10(2), Weights: datastaging.Weights1x10x100,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := datastaging.Schedule(sc, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCongestionSweep regenerates the future-work congestion sweep at
+// a reduced case count.
+func BenchmarkCongestionSweep(b *testing.B) {
+	p := datastaging.DefaultParams()
+	opts := datastaging.StudyOptions{
+		Params: p, NumCases: 1, BaseSeed: 1, Weights: datastaging.Weights1x10x100,
+	}
+	pair := datastaging.Pair{Heuristic: datastaging.FullPathOneDest, Criterion: datastaging.C4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := datastaging.CongestionSweep(opts, []int{10, 30, 60}, pair, datastaging.EUFromLog10(2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGammaAblation regenerates the garbage-collection ablation at a
+// reduced case count.
+func BenchmarkGammaAblation(b *testing.B) {
+	opts := datastaging.StudyOptions{
+		Params: datastaging.DefaultParams(), NumCases: 1, BaseSeed: 1,
+		Weights: datastaging.Weights1x10x100,
+	}
+	pair := datastaging.Pair{Heuristic: datastaging.FullPathOneDest, Criterion: datastaging.C4}
+	gammas := []time.Duration{0, 6 * time.Minute, time.Hour}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := datastaging.GammaSweep(opts, gammas, pair, datastaging.EUFromLog10(2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFailureResilience regenerates the link-failure resilience sweep
+// at a reduced case count.
+func BenchmarkFailureResilience(b *testing.B) {
+	opts := datastaging.StudyOptions{
+		Params: datastaging.DefaultParams(), NumCases: 1, BaseSeed: 1,
+		Weights: datastaging.Weights1x10x100,
+	}
+	pair := datastaging.Pair{Heuristic: datastaging.FullPathOneDest, Criterion: datastaging.C4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := datastaging.FailureSweep(opts, []int{0, 20}, pair, datastaging.EUFromLog10(2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDynamicSimulate measures one dynamic run with a burst of link
+// failures on a paper-scale scenario.
+func BenchmarkDynamicSimulate(b *testing.B) {
+	sc := benchScenario(b)
+	cfg := datastaging.Config{
+		Heuristic: datastaging.FullPathOneDest, Criterion: datastaging.C4,
+		EU: datastaging.EUFromLog10(2), Weights: datastaging.Weights1x10x100,
+	}
+	events := []datastaging.Event{
+		{At: datastaging.Instant(20 * time.Minute), Kind: datastaging.LinkFail, Link: 3},
+		{At: datastaging.Instant(40 * time.Minute), Kind: datastaging.LinkFail, Link: 11},
+		{At: datastaging.Instant(60 * time.Minute), Kind: datastaging.LinkFail, Link: 42},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := datastaging.Simulate(sc, cfg, events); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArrivalSweep regenerates the online-arrival sweep at a reduced
+// case count.
+func BenchmarkArrivalSweep(b *testing.B) {
+	opts := datastaging.StudyOptions{
+		Params: datastaging.DefaultParams(), NumCases: 1, BaseSeed: 1,
+		Weights: datastaging.Weights1x10x100,
+	}
+	pair := datastaging.Pair{Heuristic: datastaging.FullPathOneDest, Criterion: datastaging.C4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := datastaging.ArrivalSweep(opts, []float64{0, 0.5}, pair, datastaging.EUFromLog10(2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerate measures scenario generation at paper scale.
+func BenchmarkGenerate(b *testing.B) {
+	p := datastaging.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := datastaging.Generate(p, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPossibleSatisfy measures the tighter upper bound (one Dijkstra
+// per item on a pristine network).
+func BenchmarkPossibleSatisfy(b *testing.B) {
+	sc := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		datastaging.PossibleSatisfy(sc, datastaging.Weights1x10x100)
+	}
+}
+
+// BenchmarkValidate measures the independent schedule validator on a
+// full-scale schedule.
+func BenchmarkValidate(b *testing.B) {
+	sc := benchScenario(b)
+	cfg := datastaging.Config{
+		Heuristic: datastaging.FullPathOneDest, Criterion: datastaging.C4,
+		EU: datastaging.EUFromLog10(2), Weights: datastaging.Weights1x10x100,
+	}
+	res, err := datastaging.Schedule(sc, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := datastaging.ValidateSchedule(sc, res.Transfers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

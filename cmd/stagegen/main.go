@@ -1,0 +1,136 @@
+// Command stagegen generates a random data staging scenario with the
+// paper's BADD-like parameters and writes it as JSON, or summarizes an
+// existing scenario file.
+//
+// Usage:
+//
+//	stagegen [-seed 1] [-machines MIN:MAX] [-load MIN:MAX] [-serial] [-out FILE]
+//	stagegen -stats -in FILE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"datastaging/internal/gen"
+	"datastaging/internal/model"
+	"datastaging/internal/report"
+	"datastaging/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "stagegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("stagegen", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "generator seed")
+	machines := fs.String("machines", "10:12", "machine count range MIN:MAX")
+	load := fs.String("load", "20:40", "requests per machine range MIN:MAX")
+	serial := fs.Bool("serial", false, "serialize per-machine transfers (§3 future-work model)")
+	dot := fs.Bool("dot", false, "emit the network topology as Graphviz DOT instead of JSON")
+	outPath := fs.String("out", "", "output file (default stdout)")
+	inPath := fs.String("in", "", "with -stats: scenario file to summarize")
+	stats := fs.Bool("stats", false, "summarize a scenario instead of generating one")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *stats {
+		return printStats(stdout, *inPath)
+	}
+
+	p := gen.Default()
+	var err error
+	if p.Machines, err = parseRange(*machines); err != nil {
+		return fmt.Errorf("-machines: %w", err)
+	}
+	if p.RequestsPerMachine, err = parseRange(*load); err != nil {
+		return fmt.Errorf("-load: %w", err)
+	}
+	p.SerialTransfers = *serial
+	sc, err := gen.Generate(p, *seed)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if *dot {
+		if _, err := io.WriteString(w, report.DOT(sc)); err != nil {
+			return err
+		}
+	} else if err := sc.Encode(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %q: %d machines, %d virtual links, %d items, %d requests\n",
+		sc.Name, sc.Network.NumMachines(), len(sc.Network.Links), len(sc.Items), sc.NumRequests())
+	return nil
+}
+
+func printStats(w io.Writer, path string) error {
+	if path == "" {
+		return fmt.Errorf("-stats requires -in FILE")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc, err := scenario.Decode(f)
+	if err != nil {
+		return err
+	}
+	st := sc.Stats()
+	fmt.Fprintf(w, "scenario %q (serialTransfers=%v, γ=%v)\n", sc.Name, sc.SerialTransfers, sc.GarbageCollect)
+	rows := [][]string{
+		{"machines", fmt.Sprintf("%d", st.Machines)},
+		{"physical links", fmt.Sprintf("%d", st.PhysicalLinks)},
+		{"virtual links", fmt.Sprintf("%d", st.VirtualLinks)},
+		{"items", fmt.Sprintf("%d", st.Items)},
+		{"requests", fmt.Sprintf("%d", st.Requests)},
+		{"total item bytes", fmt.Sprintf("%d", st.TotalItemBytes)},
+		{"item size range", fmt.Sprintf("%d..%d", st.MinItemBytes, st.MaxItemBytes)},
+		{"total capacity", fmt.Sprintf("%d", st.TotalCapacityBytes)},
+		{"deadline span", fmt.Sprintf("%v .. %v", st.EarliestDeadline, st.LatestDeadline)},
+	}
+	for p := len(st.RequestsByPriority) - 1; p >= 0; p-- {
+		rows = append(rows, []string{
+			fmt.Sprintf("requests (%v)", model.Priority(p)),
+			fmt.Sprintf("%d", st.RequestsByPriority[p]),
+		})
+	}
+	return report.Table(w, []string{"property", "value"}, rows)
+}
+
+func parseRange(s string) (gen.IntRange, error) {
+	lo, hi, ok := strings.Cut(s, ":")
+	if !ok {
+		hi = lo
+	}
+	minV, err := strconv.Atoi(strings.TrimSpace(lo))
+	if err != nil {
+		return gen.IntRange{}, fmt.Errorf("bad range %q: %w", s, err)
+	}
+	maxV, err := strconv.Atoi(strings.TrimSpace(hi))
+	if err != nil {
+		return gen.IntRange{}, fmt.Errorf("bad range %q: %w", s, err)
+	}
+	if maxV < minV {
+		return gen.IntRange{}, fmt.Errorf("range %q has max below min", s)
+	}
+	return gen.IntRange{Min: minV, Max: maxV}, nil
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"datastaging/internal/gen"
+	"datastaging/internal/scenario"
+)
+
+func TestParseRange(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    gen.IntRange
+		wantErr bool
+	}{
+		{"10:12", gen.IntRange{Min: 10, Max: 12}, false},
+		{"5", gen.IntRange{Min: 5, Max: 5}, false},
+		{" 3 : 7 ", gen.IntRange{Min: 3, Max: 7}, false},
+		{"7:3", gen.IntRange{}, true},
+		{"x:y", gen.IntRange{}, true},
+		{"3:y", gen.IntRange{}, true},
+	}
+	for _, tc := range tests {
+		got, err := parseRange(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("parseRange(%q): err %v", tc.in, err)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("parseRange(%q): got %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRunWritesValidScenarioToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-seed", "3", "-machines", "5:5", "-load", "4:4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Decode(&buf)
+	if err != nil {
+		t.Fatalf("output is not a valid scenario: %v", err)
+	}
+	if sc.Network.NumMachines() != 5 {
+		t.Errorf("machines: got %d", sc.Network.NumMachines())
+	}
+	if got := sc.NumRequests(); got != 20 {
+		t.Errorf("requests: got %d, want 4×5", got)
+	}
+}
+
+func TestRunWritesToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sc.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-seed", "1", "-out", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Error("stdout should be empty when -out is given")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := scenario.Decode(f); err != nil {
+		t.Errorf("file is not a valid scenario: %v", err)
+	}
+}
+
+func TestRunStatsMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sc.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-seed", "2", "-serial", "-machines", "5:5", "-load", "4:4", "-out", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run([]string{"-stats", "-in", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"serialTransfers=true", "machines", "requests (high)", "deadline span"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+	if err := run([]string{"-stats"}, &buf); err == nil {
+		t.Error("-stats without -in accepted")
+	}
+	if err := run([]string{"-stats", "-in", "/no/such/file"}, &buf); err == nil {
+		t.Error("missing stats file accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{"-machines", "bogus"},
+		{"-load", "9:1"},
+		{"-machines", "1:1"}, // generator needs >= 2 machines
+		{"-bogus"},
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunDOTMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-seed", "2", "-machines", "5:5", "-load", "4:4", "-dot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph network") || !strings.Contains(out, "->") {
+		t.Errorf("DOT output malformed:\n%.200s", out)
+	}
+}

@@ -1,0 +1,277 @@
+// Command stagerun executes one scheduler on one scenario and reports the
+// outcome: weighted value, per-priority satisfaction, bounds, and
+// optionally the full transfer schedule. The scenario comes from a JSON
+// file (stagegen output) or is generated on the fly from a seed.
+//
+// Usage:
+//
+//	stagerun [-in FILE | -seed N] [-heuristic partial|full_one|full_all]
+//	         [-criterion C1..C5] [-eu LOG10|inf|-inf]
+//	         [-weights 1,10,100|1,5,10] [-scheduler heuristic|priority_first|
+//	          random_dijkstra|single_dij_random]
+//	         [-transfers] [-timeline] [-explain N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"datastaging/internal/bounds"
+	"datastaging/internal/core"
+	"datastaging/internal/eval"
+	"datastaging/internal/explain"
+	"datastaging/internal/gen"
+	"datastaging/internal/model"
+	"datastaging/internal/report"
+	"datastaging/internal/scenario"
+	"datastaging/internal/trace"
+	"datastaging/internal/validator"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "stagerun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stagerun", flag.ContinueOnError)
+	inPath := fs.String("in", "", "scenario JSON file (default: generate from -seed)")
+	seed := fs.Int64("seed", 1, "generator seed when -in is not given")
+	heuristicName := fs.String("heuristic", "full_one", "partial, full_one, or full_all")
+	criterionName := fs.String("criterion", "C4", "C1..C4, or the C5 extension")
+	euName := fs.String("eu", "2", "log10(W_E/W_U), or inf / -inf")
+	weightsName := fs.String("weights", "1,10,100", `"1,10,100" or "1,5,10"`)
+	schedName := fs.String("scheduler", "heuristic",
+		"heuristic, priority_first, random_dijkstra, or single_dij_random")
+	showTransfers := fs.Bool("transfers", false, "print the transfer schedule")
+	showTimeline := fs.Bool("timeline", false, "print the per-machine activity timeline and link utilization")
+	explainN := fs.Int("explain", 0, "diagnose up to N unsatisfied requests (why each went unserved)")
+	csvOut := fs.String("csvout", "", "write the transfer schedule as CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc, err := loadScenario(*inPath, *seed)
+	if err != nil {
+		return err
+	}
+	w, err := parseWeights(*weightsName)
+	if err != nil {
+		return err
+	}
+
+	var res *core.Result
+	switch *schedName {
+	case "heuristic":
+		cfg, err := buildConfig(*heuristicName, *criterionName, *euName, w)
+		if err != nil {
+			return err
+		}
+		res, err = core.Schedule(sc, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "scheduler: %v/%v at E-U %s\n", cfg.Heuristic, cfg.Criterion, cfg.EU.Label())
+	case "priority_first":
+		if res, err = core.PriorityFirst(sc, w); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "scheduler: priority_first")
+	case "random_dijkstra":
+		if res, err = core.RandomDijkstra(sc, w, *seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "scheduler: random_Dijkstra")
+	case "single_dij_random":
+		if res, err = core.SingleDijkstraRandom(sc, w, *seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "scheduler: single_Dij_random")
+	default:
+		return fmt.Errorf("unknown -scheduler %q", *schedName)
+	}
+
+	if err := validator.Validate(sc, res.Transfers); err != nil {
+		return fmt.Errorf("schedule failed independent validation: %w", err)
+	}
+
+	m := eval.Measure(sc, res, w)
+	upper := bounds.Upper(sc, w)
+	possible, _ := bounds.PossibleSatisfy(sc, w)
+	fmt.Fprintf(out, "scenario:  %s (%d machines, %d links, %d items, %d requests)\n",
+		sc.Name, sc.Network.NumMachines(), len(sc.Network.Links), len(sc.Items), sc.NumRequests())
+	fmt.Fprintf(out, "value:     %.1f  (possible_satisfy %.1f, upper_bound %.1f)\n",
+		m.WeightedValue, possible, upper)
+	fmt.Fprintf(out, "satisfied: %d/%d requests, %d transfers, mean hops %.2f\n",
+		m.SatisfiedCount, m.TotalRequests, m.Transfers, m.MeanHops)
+	fmt.Fprintf(out, "work:      %d Dijkstra runs, %v elapsed\n", m.DijkstraRuns, m.Elapsed)
+
+	rows := make([][]string, 0, len(m.ByPriority))
+	for p := len(m.ByPriority) - 1; p >= 0; p-- {
+		rows = append(rows, []string{
+			model.Priority(p).String(),
+			strconv.Itoa(m.ByPriority[p].Satisfied),
+			strconv.Itoa(m.ByPriority[p].Total),
+		})
+	}
+	fmt.Fprintln(out)
+	if err := report.Table(out, []string{"priority", "satisfied", "total"}, rows); err != nil {
+		return err
+	}
+
+	if *showTransfers {
+		fmt.Fprintln(out, "\ntransfers:")
+		trows := make([][]string, 0, len(res.Transfers))
+		for _, tr := range res.Transfers {
+			trows = append(trows, []string{
+				sc.Item(tr.Item).Name,
+				fmt.Sprintf("m%d→m%d", tr.From, tr.To),
+				fmt.Sprintf("link %d", tr.Link),
+				tr.Start.String(),
+				tr.Arrival.String(),
+			})
+		}
+		if err := report.Table(out, []string{"item", "hop", "via", "start", "arrival"}, trows); err != nil {
+			return err
+		}
+	}
+	if *showTimeline {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, trace.Timeline(sc, res.Transfers, 72))
+		fmt.Fprintln(out, "\nbusiest links:")
+		stats := trace.LinkUtilization(sc, res.Transfers)
+		if len(stats) > 10 {
+			stats = stats[:10]
+		}
+		lrows := make([][]string, 0, len(stats))
+		for _, s := range stats {
+			lrows = append(lrows, []string{
+				fmt.Sprintf("%d", s.Link),
+				fmt.Sprintf("m%d→m%d", s.From, s.To),
+				fmt.Sprintf("%d", s.Transfers),
+				s.Busy.Round(time.Second).String(),
+				fmt.Sprintf("%.1f%%", 100*s.Utilization),
+			})
+		}
+		if err := report.Table(out, []string{"link", "hop", "transfers", "busy", "utilization"}, lrows); err != nil {
+			return err
+		}
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			return err
+		}
+		if err := report.TransfersCSV(f, sc, res.Transfers); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\n(transfer csv: %s)\n", *csvOut)
+	}
+	if *explainN > 0 {
+		fmt.Fprintln(out, "\nunsatisfied request diagnoses:")
+		var open []model.RequestID
+		for _, id := range sc.Requests() {
+			if _, ok := res.Satisfied[id]; !ok {
+				open = append(open, id)
+			}
+		}
+		if len(open) == 0 {
+			fmt.Fprintln(out, "  every request was satisfied")
+		}
+		for i, id := range open {
+			if i >= *explainN {
+				fmt.Fprintf(out, "  ... %d more unsatisfied requests (raise -explain)\n", len(open)-i)
+				break
+			}
+			rep, err := explain.Diagnose(sc, res.Transfers, id)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, rep.Format(sc))
+		}
+	}
+	return nil
+}
+
+func loadScenario(path string, seed int64) (*scenario.Scenario, error) {
+	if path == "" {
+		return gen.Generate(gen.Default(), seed)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return scenario.Decode(f)
+}
+
+func buildConfig(h, c, eu string, w model.Weights) (core.Config, error) {
+	cfg := core.Config{Weights: w}
+	switch h {
+	case "partial":
+		cfg.Heuristic = core.PartialPath
+	case "full_one":
+		cfg.Heuristic = core.FullPathOneDest
+	case "full_all":
+		cfg.Heuristic = core.FullPathAllDests
+	default:
+		return cfg, fmt.Errorf("unknown -heuristic %q", h)
+	}
+	switch strings.ToUpper(c) {
+	case "C1":
+		cfg.Criterion = core.C1
+	case "C2":
+		cfg.Criterion = core.C2
+	case "C3":
+		cfg.Criterion = core.C3
+	case "C4":
+		cfg.Criterion = core.C4
+	case "C5":
+		cfg.Criterion = core.C5
+	default:
+		return cfg, fmt.Errorf("unknown -criterion %q", c)
+	}
+	switch eu {
+	case "inf":
+		cfg.EU = core.EUPriorityOnly
+	case "-inf":
+		cfg.EU = core.EUUrgencyOnly
+	default:
+		l, err := strconv.ParseFloat(eu, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("bad -eu %q: %w", eu, err)
+		}
+		cfg.EU = core.EUFromLog10(l)
+	}
+	return cfg, cfg.Validate()
+}
+
+func parseWeights(s string) (model.Weights, error) {
+	switch s {
+	case "1,10,100":
+		return model.Weights1x10x100, nil
+	case "1,5,10":
+		return model.Weights1x5x10, nil
+	}
+	parts := strings.Split(s, ",")
+	w := make(model.Weights, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -weights %q: %w", s, err)
+		}
+		w = append(w, v)
+	}
+	return w, nil
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"datastaging/internal/core"
+	"datastaging/internal/gen"
+	"datastaging/internal/model"
+)
+
+func TestBuildConfig(t *testing.T) {
+	w := model.Weights1x10x100
+	cfg, err := buildConfig("partial", "c3", "-inf", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Heuristic != core.PartialPath || cfg.Criterion != core.C3 || cfg.EU != core.EUUrgencyOnly {
+		t.Errorf("got %+v", cfg)
+	}
+	cfg, err = buildConfig("full_all", "C4", "2", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Heuristic != core.FullPathAllDests || cfg.EU.WE != 100 {
+		t.Errorf("got %+v", cfg)
+	}
+	if _, err := buildConfig("full_one", "C1", "inf", w); err != nil {
+		t.Errorf("inf EU: %v", err)
+	}
+	for _, tc := range [][3]string{
+		{"bogus", "C1", "0"},
+		{"partial", "C9", "0"},
+		{"partial", "C1", "huh"},
+		{"full_all", "C1", "0"}, // excluded pairing
+	} {
+		if _, err := buildConfig(tc[0], tc[1], tc[2], w); err == nil {
+			t.Errorf("buildConfig(%v) accepted", tc)
+		}
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	if w, err := parseWeights("1,10,100"); err != nil || w.Of(model.High) != 100 {
+		t.Errorf("got %v, %v", w, err)
+	}
+	if w, err := parseWeights("1,5,10"); err != nil || w.Of(model.Medium) != 5 {
+		t.Errorf("got %v, %v", w, err)
+	}
+	if w, err := parseWeights("3,7"); err != nil || len(w) != 2 {
+		t.Errorf("custom: got %v, %v", w, err)
+	}
+	if _, err := parseWeights("a,b"); err == nil {
+		t.Error("junk weights accepted")
+	}
+}
+
+func TestRunEndToEndFromSeed(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-seed", "11", "-heuristic", "partial", "-criterion", "C3", "-transfers", "-timeline"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"scheduler: partial/C3", "value:", "satisfied:", "priority",
+		"transfers:", "schedule timeline", "busiest links",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunExplainsUnsatisfiedRequests(t *testing.T) {
+	var buf bytes.Buffer
+	// Seed 11 at paper scale always has unsatisfied requests.
+	if err := run([]string{"-seed", "11", "-criterion", "C5", "-explain", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "scheduler: full_one/C5") {
+		t.Errorf("C5 flag not honored:\n%s", out)
+	}
+	if !strings.Contains(out, "unsatisfied request diagnoses:") {
+		t.Error("missing diagnoses section")
+	}
+	if !strings.Contains(out, "more unsatisfied requests") {
+		t.Error("missing truncation line for a heavily oversubscribed case")
+	}
+}
+
+func TestRunEveryBaselineScheduler(t *testing.T) {
+	for _, sched := range []string{"priority_first", "random_dijkstra", "single_dij_random"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-seed", "11", "-scheduler", sched}, &buf); err != nil {
+			t.Errorf("%s: %v", sched, err)
+		}
+		if !strings.Contains(buf.String(), "value:") {
+			t.Errorf("%s: no value line", sched)
+		}
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-scheduler", "bogus"}, &buf); err == nil {
+		t.Error("bogus scheduler accepted")
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sc.json")
+	p := gen.Default()
+	p.Machines = gen.IntRange{Min: 5, Max: 5}
+	p.RequestsPerMachine = gen.IntRange{Min: 4, Max: 4}
+	sc := gen.MustGenerate(p, 9)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var buf bytes.Buffer
+	if err := run([]string{"-in", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "gen-seed9") {
+		t.Errorf("output missing scenario name:\n%s", buf.String())
+	}
+	if err := run([]string{"-in", "/does/not/exist"}, &buf); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunWritesTransfersCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "transfers.csv")
+	var buf bytes.Buffer
+	if err := run([]string{"-seed", "11", "-csvout", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "item,name,from,to,link") {
+		t.Errorf("csv header missing: %.80s", data)
+	}
+	if len(strings.Split(string(data), "\n")) < 10 {
+		t.Error("csv suspiciously short for a paper-scale run")
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"datastaging/internal/model"
+)
+
+func TestWeightSchemes(t *testing.T) {
+	tests := []struct {
+		in      string
+		names   []string
+		wantErr bool
+	}{
+		{"1,10,100", []string{"1,10,100"}, false},
+		{"1,5,10", []string{"1,5,10"}, false},
+		{"both", []string{"1,10,100", "1,5,10"}, false},
+		{"2,4,8,16", []string{"2,4,8,16"}, false},
+		{"nope", nil, true},
+		{"", nil, true},
+	}
+	for _, tc := range tests {
+		got, err := weightSchemes(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("weightSchemes(%q): err %v", tc.in, err)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(tc.names) {
+			t.Errorf("weightSchemes(%q): got %d schemes", tc.in, len(got))
+			continue
+		}
+		for i, ws := range got {
+			if ws.name != tc.names[i] {
+				t.Errorf("weightSchemes(%q)[%d]: name %q", tc.in, i, ws.name)
+			}
+		}
+	}
+	four, _ := weightSchemes("2,4,8,16")
+	if len(four[0].weights) != 4 || four[0].weights.Of(model.Priority(3)) != 16 {
+		t.Errorf("custom weights parsed wrong: %+v", four[0].weights)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"1,10,100", "1x10x100"},
+		{"Weird Name!", "weird_name_"},
+		{"abc-123", "abc-123"},
+	} {
+		if got := sanitize(tc.in); got != tc.want {
+			t.Errorf("sanitize(%q): got %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRunTinyStudyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real schedulers")
+	}
+	var buf bytes.Buffer
+	err := run([]string{
+		"-cases", "1", "-quiet", "-figures", "2", "-extras=false", "-baseline=false", "-height", "6",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 2", "upper_bound", "possible_satisfy", "Bounds and baselines"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunBothWeightingsAndSweeps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real schedulers including the ablation sweeps")
+	}
+	var buf bytes.Buffer
+	err := run([]string{
+		"-cases", "1", "-quiet", "-figures", "", "-extras=false", "-baseline=false",
+		"-weights", "both", "-congestion", "-gamma", "-failures", "-serial",
+		"-csv", t.TempDir(),
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Weighting-scheme comparison",
+		"Congestion sweep",
+		"Garbage-collection ablation",
+		"Link-failure resilience",
+		"Parallel vs serialized machine ports",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-weights", "junk"}, &buf); err == nil {
+		t.Error("bad weights accepted")
+	}
+	if err := run([]string{"-cases", "1", "-quiet", "-figures", "9"}, &buf); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-nonsense"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,309 @@
+// Package datastaging is a library for scheduling data requests in an
+// oversubscribed network with priorities and deadlines — a full
+// reproduction of the data staging heuristics of Theys, Tan, Beck, Siegel,
+// and Jurczyk (ICDCS 2000).
+//
+// The problem: machines hold data items, other machines request them with
+// deadlines and priorities, and unidirectional virtual communication links
+// (each with an availability window and a bandwidth) move copies around.
+// Not every request can be satisfied; the goal is a communication schedule
+// maximizing the weighted sum of priorities of satisfied requests.
+//
+// The package offers:
+//
+//   - Three Dijkstra-based scheduling heuristics (PartialPath,
+//     FullPathOneDest, FullPathAllDests) × four cost criteria (C1–C4) —
+//     the paper's eleven meaningful pairs — plus C5, the bounded-ratio
+//     criterion the paper's future work asks for. See Schedule.
+//   - The paper's bounds and baselines: UpperBound, PossibleSatisfy,
+//     RandomDijkstra, SingleDijkstraRandom, and PriorityFirst — and an
+//     exhaustive branch-and-bound optimum for tiny instances
+//     (ExhaustiveSearch).
+//   - A workload generator matching the paper's BADD-like evaluation
+//     parameters (Generate, DefaultParams) and JSON scenario I/O.
+//   - An experiment harness reproducing the paper's figures and the
+//     extension sweeps (RunStudy, CongestionSweep, GammaSweep,
+//     FailureSweep, SerialComparison) and an independent schedule
+//     validator (ValidateSchedule).
+//   - Dynamic staging (Simulate): ad-hoc request arrivals and link
+//     failures with event-driven re-planning — the paper's stated future
+//     work.
+//
+// Quick start:
+//
+//	sc, _ := datastaging.Generate(datastaging.DefaultParams(), 42)
+//	cfg := datastaging.Config{
+//		Heuristic: datastaging.FullPathOneDest,
+//		Criterion: datastaging.C4,
+//		EU:        datastaging.EUFromLog10(2),
+//		Weights:   datastaging.Weights1x10x100,
+//	}
+//	res, _ := datastaging.Schedule(sc, cfg)
+//	fmt.Println(datastaging.Measure(sc, res, cfg.Weights))
+package datastaging
+
+import (
+	"io"
+	"time"
+
+	"datastaging/internal/bounds"
+	"datastaging/internal/core"
+	"datastaging/internal/dynamic"
+	"datastaging/internal/eval"
+	"datastaging/internal/exhaustive"
+	"datastaging/internal/experiment"
+	"datastaging/internal/gen"
+	"datastaging/internal/model"
+	"datastaging/internal/scenario"
+	"datastaging/internal/simtime"
+	"datastaging/internal/state"
+	"datastaging/internal/validator"
+)
+
+// Model types. Aliases expose the internal implementations as the public
+// API; see the aliased types for field documentation.
+type (
+	// Scenario is one problem instance: network, items, requests, γ.
+	Scenario = scenario.Scenario
+	// Network is the communication system.
+	Network = model.Network
+	// Machine is one node: server, client, and/or staging intermediate.
+	Machine = model.Machine
+	// VirtualLink is one unidirectional link window.
+	VirtualLink = model.VirtualLink
+	// Item is a requested data item with sources and requests.
+	Item = model.Item
+	// Source is one initial location of an item.
+	Source = model.Source
+	// Request is a destination, deadline, and priority.
+	Request = model.Request
+	// Priority is a request's importance class.
+	Priority = model.Priority
+	// Weights maps priorities to objective weights W[p].
+	Weights = model.Weights
+	// MachineID, ItemID, LinkID, and RequestID identify entities.
+	MachineID = model.MachineID
+	ItemID    = model.ItemID
+	LinkID    = model.LinkID
+	RequestID = model.RequestID
+	// Instant is a point on the simulated clock; Interval a half-open
+	// span between instants.
+	Instant  = simtime.Instant
+	Interval = simtime.Interval
+)
+
+// Scheduling types.
+type (
+	// Config selects a heuristic/cost-criterion pair and its weightings.
+	Config = core.Config
+	// Heuristic selects among the paper's three strategies.
+	Heuristic = core.Heuristic
+	// Criterion selects among the four cost criteria.
+	Criterion = core.Criterion
+	// Pair names one heuristic/criterion combination.
+	Pair = core.Pair
+	// EUWeights holds the W_E/W_U weighting of priority vs urgency.
+	EUWeights = core.EUWeights
+	// Result is a computed schedule with statistics.
+	Result = core.Result
+	// Transfer is one committed communication step.
+	Transfer = state.Transfer
+	// Metrics summarizes a schedule's quality.
+	Metrics = eval.Metrics
+)
+
+// Dynamic staging (the paper's future-work extension): event-driven
+// re-planning with ad-hoc request releases and link failures.
+type (
+	// Event is one dynamic occurrence: an item release or a link failure.
+	Event = dynamic.Event
+	// EventKind discriminates dynamic events.
+	EventKind = dynamic.EventKind
+	// DynamicOutcome is a dynamic simulation's result.
+	DynamicOutcome = dynamic.Outcome
+)
+
+// Dynamic event kinds.
+const (
+	ItemRelease = dynamic.ItemRelease
+	LinkFail    = dynamic.LinkFail
+)
+
+// Simulate runs the event-driven dynamic staging loop: the configured
+// heuristic plans at time zero, then re-plans at each event epoch with the
+// committed past locked in.
+func Simulate(sc *Scenario, cfg Config, events []Event) (*DynamicOutcome, error) {
+	return dynamic.Simulate(sc, cfg, events)
+}
+
+// Workload generation and experiments.
+type (
+	// GenParams configures the random scenario generator.
+	GenParams = gen.Params
+	// StudyOptions configures a full simulation study.
+	StudyOptions = experiment.Options
+	// StudyResult is the aggregated study output.
+	StudyResult = experiment.Result
+	// SweepPoint is one E-U ratio sweep position.
+	SweepPoint = experiment.SweepPoint
+	// CongestionResult is the output of CongestionSweep.
+	CongestionResult = experiment.CongestionResult
+)
+
+// Priority classes used by the paper's evaluation.
+const (
+	Low    = model.Low
+	Medium = model.Medium
+	High   = model.High
+)
+
+// The three heuristics (§4.5–4.7).
+const (
+	PartialPath      = core.PartialPath
+	FullPathOneDest  = core.FullPathOneDest
+	FullPathAllDests = core.FullPathAllDests
+)
+
+// The four cost criteria of §4.8, plus C5 — this library's bounded-ratio
+// extension implementing the paper's future-work suggestion for a fixed C3.
+const (
+	C1 = core.C1
+	C2 = core.C2
+	C3 = core.C3
+	C4 = core.C4
+	C5 = core.C5
+)
+
+// PairsWithExtensions enumerates the paper's eleven pairs plus the C5
+// extension under every heuristic.
+func PairsWithExtensions() []Pair { return core.PairsWithExtensions() }
+
+// The paper's two priority weighting schemes (§5.3).
+var (
+	Weights1x5x10   = model.Weights1x5x10
+	Weights1x10x100 = model.Weights1x10x100
+)
+
+// The extreme E-U sweep points: priority-only ("inf") and urgency-only
+// ("-inf").
+var (
+	EUPriorityOnly = core.EUPriorityOnly
+	EUUrgencyOnly  = core.EUUrgencyOnly
+)
+
+// EUFromLog10 returns interior sweep weights W_E = 10^l, W_U = 1.
+func EUFromLog10(l float64) EUWeights { return core.EUFromLog10(l) }
+
+// Schedule runs one heuristic/cost-criterion pair on a scenario.
+func Schedule(sc *Scenario, cfg Config) (*Result, error) { return core.Schedule(sc, cfg) }
+
+// Pairs enumerates the eleven meaningful heuristic/criterion pairs.
+func Pairs() []Pair { return core.Pairs() }
+
+// Measure computes quality metrics of a schedule under the given weights.
+func Measure(sc *Scenario, res *Result, w Weights) Metrics { return eval.Measure(sc, res, w) }
+
+// ValidateSchedule independently replays a schedule against the scenario
+// and reports the first violated feasibility constraint, if any.
+func ValidateSchedule(sc *Scenario, transfers []Transfer) error {
+	return validator.Validate(sc, transfers)
+}
+
+// UpperBound is the loose upper bound: the total weight of all requests.
+func UpperBound(sc *Scenario, w Weights) float64 { return bounds.Upper(sc, w) }
+
+// PossibleSatisfy is the tighter upper bound: the weight satisfiable if
+// each request were alone in the system, plus the request count.
+func PossibleSatisfy(sc *Scenario, w Weights) (float64, int) { return bounds.PossibleSatisfy(sc, w) }
+
+// RandomDijkstra is the paper's tighter lower bound scheduler.
+func RandomDijkstra(sc *Scenario, w Weights, seed int64) (*Result, error) {
+	return bounds.RandomDijkstra(sc, w, seed)
+}
+
+// SingleDijkstraRandom is the paper's looser lower bound scheduler.
+func SingleDijkstraRandom(sc *Scenario, w Weights, seed int64) (*Result, error) {
+	return bounds.SingleDijkstraRandom(sc, w, seed)
+}
+
+// PriorityFirst is the §5.4 strict-priority-order baseline scheduler.
+func PriorityFirst(sc *Scenario, w Weights) (*Result, error) {
+	return bounds.PriorityFirst(sc, w)
+}
+
+// DefaultParams returns the paper's §5.3 generator parameterization.
+func DefaultParams() GenParams { return gen.Default() }
+
+// Generate builds a random scenario; deterministic per seed.
+func Generate(p GenParams, seed int64) (*Scenario, error) { return gen.Generate(p, seed) }
+
+// NewNetwork validates machines and links into a Network.
+func NewNetwork(machines []Machine, links []VirtualLink) (*Network, error) {
+	return model.NewNetwork(machines, links)
+}
+
+// DecodeScenario reads and validates a JSON scenario.
+func DecodeScenario(r io.Reader) (*Scenario, error) { return scenario.Decode(r) }
+
+// ScenarioStats summarizes an instance (counts, sizes, deadline span).
+type ScenarioStats = scenario.Stats
+
+// ExhaustiveResult is the outcome of ExhaustiveSearch.
+type ExhaustiveResult = exhaustive.Result
+
+// ExhaustiveMaxRequests is the largest request count ExhaustiveSearch
+// accepts (the search is factorial in it).
+const ExhaustiveMaxRequests = exhaustive.MaxRequests
+
+// ExhaustiveSearch finds the best greedy-order schedule of a tiny instance
+// by branch-and-bound over request service orders: ground truth for
+// measuring a heuristic's optimality gap. Instances with more than
+// ExhaustiveMaxRequests requests are rejected.
+func ExhaustiveSearch(sc *Scenario, w Weights) (*ExhaustiveResult, error) {
+	return exhaustive.Search(sc, w)
+}
+
+// RunStudy executes a full simulation study (figures 2–5 inputs).
+func RunStudy(opts StudyOptions) (*StudyResult, error) { return experiment.Run(opts) }
+
+// StandardSweep returns the paper's eleven E-U sweep points.
+func StandardSweep() []SweepPoint { return experiment.StandardSweep() }
+
+// CongestionSweep runs the paper's future-work congestion experiment.
+func CongestionSweep(opts StudyOptions, loads []int, pair Pair, eu EUWeights) (*CongestionResult, error) {
+	return experiment.CongestionSweep(opts, loads, pair, eu)
+}
+
+// GammaPoint, FailurePoint, SerialPoint, and ArrivalPoint are the rows of
+// the ablation sweeps.
+type (
+	GammaPoint   = experiment.GammaPoint
+	FailurePoint = experiment.FailurePoint
+	SerialPoint  = experiment.SerialPoint
+	ArrivalPoint = experiment.ArrivalPoint
+)
+
+// GammaSweep ablates the garbage-collection delay γ across retention
+// levels.
+func GammaSweep(opts StudyOptions, gammas []time.Duration, pair Pair, eu EUWeights) ([]GammaPoint, error) {
+	return experiment.GammaSweep(opts, gammas, pair, eu)
+}
+
+// FailureSweep measures schedule resilience under random link failures
+// with dynamic re-planning.
+func FailureSweep(opts StudyOptions, failureCounts []int, pair Pair, eu EUWeights) ([]FailurePoint, error) {
+	return experiment.FailureSweep(opts, failureCounts, pair, eu)
+}
+
+// SerialComparison quantifies the §3 parallel-send assumption: the same
+// pair on the same cases with and without per-machine port serialization.
+func SerialComparison(opts StudyOptions, pair Pair, eu EUWeights) (*SerialPoint, error) {
+	return experiment.SerialComparison(opts, pair, eu)
+}
+
+// ArrivalSweep measures the cost of late knowledge: a fraction of items'
+// requests arrive dynamically and the event-driven scheduler re-plans,
+// compared against the clairvoyant offline schedule.
+func ArrivalSweep(opts StudyOptions, fractions []float64, pair Pair, eu EUWeights) ([]ArrivalPoint, error) {
+	return experiment.ArrivalSweep(opts, fractions, pair, eu)
+}

@@ -1,0 +1,134 @@
+package datastaging_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"datastaging"
+)
+
+// buildTinyScenario constructs a scenario entirely through the public API:
+// 0 → 1 → 2 chain with a reverse link, one item at 0 requested by 2.
+func buildTinyScenario(t *testing.T) *datastaging.Scenario {
+	t.Helper()
+	machines := []datastaging.Machine{
+		{ID: 0, CapacityBytes: 1 << 20},
+		{ID: 1, CapacityBytes: 1 << 20},
+		{ID: 2, CapacityBytes: 1 << 20},
+	}
+	day := datastaging.Interval{Start: 0, End: datastaging.Instant(24 * time.Hour)}
+	links := []datastaging.VirtualLink{
+		{ID: 0, From: 0, To: 1, Window: day, BandwidthBPS: 80_000},
+		{ID: 1, From: 1, To: 2, Window: day, BandwidthBPS: 80_000},
+		{ID: 2, From: 2, To: 0, Window: day, BandwidthBPS: 80_000},
+	}
+	net, err := datastaging.NewNetwork(machines, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &datastaging.Scenario{
+		Name:    "public-api",
+		Network: net,
+		Items: []datastaging.Item{{
+			ID:        0,
+			SizeBytes: 10 << 10,
+			Sources:   []datastaging.Source{{Machine: 0, Available: 0}},
+			Requests: []datastaging.Request{{
+				Machine:  2,
+				Deadline: datastaging.Instant(30 * time.Minute),
+				Priority: datastaging.High,
+			}},
+		}},
+		GarbageCollect: 6 * time.Minute,
+		Horizon:        datastaging.Instant(24 * time.Hour),
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestPublicAPIScheduleAndValidate(t *testing.T) {
+	sc := buildTinyScenario(t)
+	cfg := datastaging.Config{
+		Heuristic: datastaging.FullPathOneDest,
+		Criterion: datastaging.C4,
+		EU:        datastaging.EUFromLog10(0),
+		Weights:   datastaging.Weights1x10x100,
+	}
+	res, err := datastaging.Schedule(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Satisfied) != 1 {
+		t.Errorf("satisfied: got %d, want 1", len(res.Satisfied))
+	}
+	if err := datastaging.ValidateSchedule(sc, res.Transfers); err != nil {
+		t.Errorf("ValidateSchedule: %v", err)
+	}
+	m := datastaging.Measure(sc, res, cfg.Weights)
+	if m.WeightedValue != 100 {
+		t.Errorf("WeightedValue: got %v", m.WeightedValue)
+	}
+	if up := datastaging.UpperBound(sc, cfg.Weights); up != 100 {
+		t.Errorf("UpperBound: got %v", up)
+	}
+	if ps, n := datastaging.PossibleSatisfy(sc, cfg.Weights); ps != 100 || n != 1 {
+		t.Errorf("PossibleSatisfy: got %v, %d", ps, n)
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	sc := buildTinyScenario(t)
+	w := datastaging.Weights1x10x100
+	if res, err := datastaging.RandomDijkstra(sc, w, 1); err != nil || len(res.Satisfied) != 1 {
+		t.Errorf("RandomDijkstra: %v, %+v", err, res)
+	}
+	if res, err := datastaging.SingleDijkstraRandom(sc, w, 1); err != nil || len(res.Satisfied) != 1 {
+		t.Errorf("SingleDijkstraRandom: %v, %+v", err, res)
+	}
+	if res, err := datastaging.PriorityFirst(sc, w); err != nil || len(res.Satisfied) != 1 {
+		t.Errorf("PriorityFirst: %v, %+v", err, res)
+	}
+}
+
+func TestPublicAPIGenerateEncodeDecode(t *testing.T) {
+	sc, err := datastaging.Generate(datastaging.DefaultParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sc.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := datastaging.DecodeScenario(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRequests() != sc.NumRequests() {
+		t.Errorf("round trip lost requests: %d vs %d", back.NumRequests(), sc.NumRequests())
+	}
+}
+
+func TestPublicAPIStudy(t *testing.T) {
+	p := datastaging.DefaultParams()
+	p.Machines.Min, p.Machines.Max = 5, 5
+	p.RequestsPerMachine.Min, p.RequestsPerMachine.Max = 4, 4
+	res, err := datastaging.RunStudy(datastaging.StudyOptions{
+		Params:   p,
+		NumCases: 2,
+		Weights:  datastaging.Weights1x5x10,
+		Sweep:    datastaging.StandardSweep()[4:6],
+		Pairs:    []datastaging.Pair{{Heuristic: datastaging.PartialPath, Criterion: datastaging.C3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 1 || len(res.SweepLabels) != 2 {
+		t.Errorf("study shape: %d pairs, %v labels", len(res.Pairs), res.SweepLabels)
+	}
+	if len(datastaging.Pairs()) != 11 {
+		t.Errorf("Pairs: got %d", len(datastaging.Pairs()))
+	}
+}

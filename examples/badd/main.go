@@ -1,0 +1,215 @@
+// BADD: a hand-built Battlefield Awareness and Data Dissemination scenario
+// modeled on the paper's motivating example (§1). Data originates at rear
+// sites (Washington, a foreign base), flows through a theater hub and a
+// ship, and is staged toward forward-deployed units whose satellite links
+// are only up during short windows. Every scheduler in the library runs on
+// the same scenario so their trade-offs are visible side by side.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"datastaging"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "badd:", err)
+		os.Exit(1)
+	}
+}
+
+const (
+	washington = datastaging.MachineID(iota)
+	foreignBase
+	theaterHQ
+	ship
+	fieldAlpha
+	fieldBravo
+)
+
+const (
+	mbit = 1_000_000
+	kbit = 1_000
+)
+
+func at(d time.Duration) datastaging.Instant { return datastaging.Instant(d) }
+
+func buildScenario() (*datastaging.Scenario, error) {
+	machines := []datastaging.Machine{
+		{ID: washington, Name: "washington", CapacityBytes: 20 << 30},
+		{ID: foreignBase, Name: "foreign-base", CapacityBytes: 10 << 30},
+		{ID: theaterHQ, Name: "theater-hq", CapacityBytes: 2 << 30},
+		{ID: ship, Name: "ship", CapacityBytes: 500 << 20},
+		{ID: fieldAlpha, Name: "field-alpha", CapacityBytes: 64 << 20},
+		{ID: fieldBravo, Name: "field-bravo", CapacityBytes: 64 << 20},
+	}
+
+	allDay := datastaging.Interval{Start: 0, End: at(24 * time.Hour)}
+	var links []datastaging.VirtualLink
+	phys := 0
+	add := func(from, to datastaging.MachineID, bps int64, windows ...datastaging.Interval) {
+		for _, w := range windows {
+			links = append(links, datastaging.VirtualLink{
+				ID: datastaging.LinkID(len(links)), From: from, To: to,
+				Window: w, BandwidthBPS: bps, Physical: phys,
+			})
+		}
+		phys++
+	}
+
+	// Rear backbone: fast fiber, always up, both directions.
+	add(washington, theaterHQ, 1.5*mbit, allDay)
+	add(theaterHQ, washington, 1.5*mbit, allDay)
+	add(foreignBase, theaterHQ, mbit, allDay)
+	add(theaterHQ, foreignBase, mbit, allDay)
+
+	// Theater to ship: broadcast satellite, up 45 minutes of every hour.
+	var shipWindows []datastaging.Interval
+	for h := 0; h < 24; h++ {
+		start := time.Duration(h) * time.Hour
+		shipWindows = append(shipWindows, datastaging.Interval{
+			Start: at(start), End: at(start + 45*time.Minute),
+		})
+	}
+	add(theaterHQ, ship, 512*kbit, shipWindows...)
+	add(ship, theaterHQ, 128*kbit, shipWindows...)
+
+	// Ship to forward units: VSAT, 15-minute windows every hour, slow.
+	vsat := func(offset time.Duration) []datastaging.Interval {
+		var ws []datastaging.Interval
+		for h := 0; h < 24; h++ {
+			start := time.Duration(h)*time.Hour + offset
+			ws = append(ws, datastaging.Interval{Start: at(start), End: at(start + 15*time.Minute)})
+		}
+		return ws
+	}
+	add(ship, fieldAlpha, 64*kbit, vsat(0)...)
+	add(fieldAlpha, ship, 32*kbit, vsat(20*time.Minute)...)
+	add(ship, fieldBravo, 64*kbit, vsat(30*time.Minute)...)
+	add(fieldBravo, ship, 32*kbit, vsat(50*time.Minute)...)
+	// Theater HQ can also reach field-alpha directly over a thin HF link.
+	add(theaterHQ, fieldAlpha, 16*kbit, allDay)
+	add(fieldAlpha, theaterHQ, 16*kbit, allDay)
+
+	net, err := datastaging.NewNetwork(machines, links)
+	if err != nil {
+		return nil, err
+	}
+
+	var items []datastaging.Item
+	item := func(name string, size int64, srcs []datastaging.Source, reqs []datastaging.Request) {
+		items = append(items, datastaging.Item{
+			ID: datastaging.ItemID(len(items)), Name: name, SizeBytes: size,
+			Sources: srcs, Requests: reqs,
+		})
+	}
+	src := func(m datastaging.MachineID, avail time.Duration) datastaging.Source {
+		return datastaging.Source{Machine: m, Available: at(avail)}
+	}
+	req := func(m datastaging.MachineID, ddl time.Duration, p datastaging.Priority) datastaging.Request {
+		return datastaging.Request{Machine: m, Deadline: at(ddl), Priority: p}
+	}
+
+	// The warfighter's planning inputs (§1): terrain, enemy locations,
+	// weather, plus routine traffic that congests the thin links.
+	item("terrain-maps", 40<<20,
+		[]datastaging.Source{src(washington, 0), src(foreignBase, 0)},
+		[]datastaging.Request{
+			req(fieldAlpha, 3*time.Hour, datastaging.High),
+			req(fieldBravo, 4*time.Hour, datastaging.Medium),
+			req(ship, 2*time.Hour, datastaging.Medium),
+		})
+	item("enemy-locations", 2<<20,
+		[]datastaging.Source{src(theaterHQ, 10*time.Minute)},
+		[]datastaging.Request{
+			req(fieldAlpha, 55*time.Minute, datastaging.High),
+			req(fieldBravo, 90*time.Minute, datastaging.High),
+		})
+	item("weather-0600", 8<<20,
+		[]datastaging.Source{src(washington, 0)},
+		[]datastaging.Request{
+			req(ship, time.Hour, datastaging.Medium),
+			req(fieldAlpha, 2*time.Hour, datastaging.Medium),
+			req(fieldBravo, 2*time.Hour, datastaging.Low),
+		})
+	item("logistics-report", 12<<20,
+		[]datastaging.Source{src(foreignBase, 30*time.Minute)},
+		[]datastaging.Request{
+			req(ship, 3*time.Hour, datastaging.Low),
+			req(fieldBravo, 5*time.Hour, datastaging.Low),
+		})
+	item("troop-movement-plan", 1<<20,
+		[]datastaging.Source{src(theaterHQ, 45*time.Minute)},
+		[]datastaging.Request{
+			req(fieldAlpha, 75*time.Minute, datastaging.High),
+			req(washington, 2*time.Hour, datastaging.Medium),
+		})
+	item("press-briefing", 30<<20,
+		[]datastaging.Source{src(washington, 0)},
+		[]datastaging.Request{
+			req(theaterHQ, time.Hour, datastaging.Low),
+			req(ship, 90*time.Minute, datastaging.Low),
+		})
+
+	sc := &datastaging.Scenario{
+		Name:           "badd-example",
+		Network:        net,
+		Items:          items,
+		GarbageCollect: 6 * time.Minute,
+		Horizon:        at(24 * time.Hour),
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+func run() error {
+	sc, err := buildScenario()
+	if err != nil {
+		return err
+	}
+	w := datastaging.Weights1x10x100
+	upper := datastaging.UpperBound(sc, w)
+	possible, _ := datastaging.PossibleSatisfy(sc, w)
+	fmt.Printf("BADD scenario: %d requests over %d machines; upper_bound %.0f, possible_satisfy %.0f\n\n",
+		sc.NumRequests(), sc.Network.NumMachines(), upper, possible)
+
+	fmt.Printf("%-22s %8s %10s %10s\n", "scheduler", "value", "satisfied", "transfers")
+	show := func(name string, res *datastaging.Result, err error) error {
+		if err != nil {
+			return err
+		}
+		if err := datastaging.ValidateSchedule(sc, res.Transfers); err != nil {
+			return fmt.Errorf("%s produced an invalid schedule: %w", name, err)
+		}
+		m := datastaging.Measure(sc, res, w)
+		fmt.Printf("%-22s %8.0f %7d/%2d %10d\n",
+			name, m.WeightedValue, m.SatisfiedCount, m.TotalRequests, m.Transfers)
+		return nil
+	}
+
+	for _, pair := range datastaging.Pairs() {
+		cfg := datastaging.Config{
+			Heuristic: pair.Heuristic, Criterion: pair.Criterion,
+			EU: datastaging.EUFromLog10(2), Weights: w,
+		}
+		res, err := datastaging.Schedule(sc, cfg)
+		if err := show(pair.String(), res, err); err != nil {
+			return err
+		}
+	}
+	res, err := datastaging.PriorityFirst(sc, w)
+	if err := show("priority_first", res, err); err != nil {
+		return err
+	}
+	res, err = datastaging.RandomDijkstra(sc, w, 7)
+	if err := show("random_Dijkstra", res, err); err != nil {
+		return err
+	}
+	res, err = datastaging.SingleDijkstraRandom(sc, w, 7)
+	return show("single_Dij_random", res, err)
+}

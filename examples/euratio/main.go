@@ -1,0 +1,58 @@
+// Euratio: sweep the E-U ratio (the relative weight of effective priority
+// versus urgency, §4.8) for one heuristic on one generated scenario and
+// print how the achieved weighted value and the per-class satisfaction move
+// — a single-scenario slice of the paper's Figures 2-5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"datastaging"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "euratio:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 99, "scenario seed")
+	flag.Parse()
+
+	sc, err := datastaging.Generate(datastaging.DefaultParams(), *seed)
+	if err != nil {
+		return err
+	}
+	w := datastaging.Weights1x10x100
+	possible, _ := datastaging.PossibleSatisfy(sc, w)
+	fmt.Printf("scenario seed %d: %d requests, possible_satisfy %.0f\n\n",
+		*seed, sc.NumRequests(), possible)
+	fmt.Printf("%-6s %10s %8s %6s %6s %6s\n", "E-U", "value", "%poss", "high", "med", "low")
+
+	for _, pt := range datastaging.StandardSweep() {
+		cfg := datastaging.Config{
+			Heuristic: datastaging.FullPathOneDest,
+			Criterion: datastaging.C4,
+			EU:        pt.EU,
+			Weights:   w,
+		}
+		res, err := datastaging.Schedule(sc, cfg)
+		if err != nil {
+			return err
+		}
+		m := datastaging.Measure(sc, res, w)
+		fmt.Printf("%-6s %10.0f %7.1f%% %6d %6d %6d\n",
+			pt.Label, m.WeightedValue, 100*m.WeightedValue/possible,
+			m.ByPriority[datastaging.High].Satisfied,
+			m.ByPriority[datastaging.Medium].Satisfied,
+			m.ByPriority[datastaging.Low].Satisfied)
+	}
+	fmt.Println("\nUrgency-only (-inf) ignores priorities; priority-heavy ratios trade low-")
+	fmt.Println("priority requests for high-priority ones. C4's plateau at high ratios is")
+	fmt.Println("the paper's headline shape.")
+	return nil
+}

@@ -1,0 +1,84 @@
+// Optimalitygap: on instances tiny enough to search exhaustively (the
+// regime the paper calls intractable at realistic sizes, §5.1), compare
+// every heuristic/cost-criterion pair — including the C5 extension —
+// against the provably best greedy-order schedule, and print each pair's
+// optimality gap.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"datastaging"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "optimalitygap:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Tiny but heavily contended: three machines, slow links, large items,
+	// tight deadlines — so service order actually matters.
+	p := datastaging.DefaultParams()
+	p.Machines.Min, p.Machines.Max = 3, 3
+	p.RequestsPerMachine.Min, p.RequestsPerMachine.Max = 2, 2
+	p.DestsPerItem.Min, p.DestsPerItem.Max = 1, 2
+	p.SizeBytes.Min, p.SizeBytes.Max = 5<<20, 50<<20
+	p.BandwidthBPS.Min, p.BandwidthBPS.Max = 50_000, 400_000
+	p.DeadlineAfterStart.Min, p.DeadlineAfterStart.Max = 15*60e9, 30*60e9
+	w := datastaging.Weights1x10x100
+
+	type tally struct {
+		value float64
+		runs  int
+	}
+	perPair := make(map[datastaging.Pair]*tally)
+	var optTotal float64
+	cases := 0
+	for seed := int64(1); cases < 40 && seed <= 120; seed++ {
+		sc, err := datastaging.Generate(p, seed)
+		if err != nil {
+			return err
+		}
+		if sc.NumRequests() > datastaging.ExhaustiveMaxRequests {
+			continue
+		}
+		cases++
+		opt, err := datastaging.ExhaustiveSearch(sc, w)
+		if err != nil {
+			return err
+		}
+		optTotal += opt.Value
+		for _, pair := range datastaging.PairsWithExtensions() {
+			cfg := datastaging.Config{
+				Heuristic: pair.Heuristic, Criterion: pair.Criterion,
+				EU: datastaging.EUFromLog10(2), Weights: w,
+			}
+			res, err := datastaging.Schedule(sc, cfg)
+			if err != nil {
+				return err
+			}
+			t := perPair[pair]
+			if t == nil {
+				t = &tally{}
+				perPair[pair] = t
+			}
+			t.value += res.WeightedValue(sc, w)
+			t.runs++
+		}
+	}
+
+	fmt.Printf("exhaustive optimum over %d tiny instances: %.0f total weighted value\n\n", cases, optTotal)
+	fmt.Printf("%-14s %10s %8s\n", "pair", "value", "of opt")
+	for _, pair := range datastaging.PairsWithExtensions() {
+		t := perPair[pair]
+		fmt.Printf("%-14s %10.0f %7.1f%%\n", pair, t.value, 100*t.value/optTotal)
+	}
+	fmt.Println("\nGaps on tiny instances come from greedy ordering, not routing: every pair")
+	fmt.Println("routes along true shortest paths, but the exhaustive search may serve")
+	fmt.Println("requests in an order no cost criterion would pick.")
+	return nil
+}

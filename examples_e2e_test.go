@@ -1,0 +1,40 @@
+package datastaging_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRunEndToEnd executes every example binary and checks its
+// headline output — the examples double as acceptance tests of the public
+// API.
+func TestExamplesRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run for every example")
+	}
+	tests := []struct {
+		dir  string
+		want []string
+	}{
+		{"quickstart", []string{"satisfied", "weighted value"}},
+		{"badd", []string{"BADD scenario", "priority_first", "single_Dij_random"}},
+		{"weathermap", []string{"satisfied 18", "europe-weather-2200"}},
+		{"euratio", []string{"-inf", "inf", "%"}},
+		{"dynamic", []string{"ABORTED", "3/3 requests satisfied"}},
+		{"optimalitygap", []string{"exhaustive optimum", "full_all/C5"}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.dir, func(t *testing.T) {
+			out, err := exec.Command("go", "run", "./examples/"+tc.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run: %v\n%s", err, out)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module datastaging
+
+go 1.22

@@ -1,0 +1,78 @@
+package datastaging_test
+
+import (
+	"testing"
+
+	"datastaging"
+)
+
+// TestGoldenStudyNumbers pins exact aggregate values of a tiny seeded
+// study. Everything in the pipeline is engineered to be deterministic —
+// seeded generation, deterministic tie-breaking, ordered aggregation — so
+// any drift here means scheduler behavior changed, intentionally or not.
+// When a deliberate change shifts these numbers, regenerate them and say
+// why in the commit.
+func TestGoldenStudyNumbers(t *testing.T) {
+	p := datastaging.DefaultParams()
+	p.Machines.Min, p.Machines.Max = 5, 5
+	p.RequestsPerMachine.Min, p.RequestsPerMachine.Max = 4, 4
+	res, err := datastaging.RunStudy(datastaging.StudyOptions{
+		Params: p, NumCases: 2, BaseSeed: 1, Weights: datastaging.Weights1x10x100,
+		Sweep: []datastaging.SweepPoint{
+			{Label: "-inf", EU: datastaging.EUUrgencyOnly},
+			{Label: "0", EU: datastaging.EUFromLog10(0)},
+			{Label: "inf", EU: datastaging.EUPriorityOnly},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, got := range map[string]float64{
+		"upper_bound":          res.Upper.Mean,
+		"possible_satisfy":     res.PossibleSatisfy.Mean,
+		"random_Dijkstra":      res.RandomDijkstra.Mean,
+		"single_Dij_random":    res.SingleDijkstraRandom.Mean,
+		"priority_first_value": res.PriorityFirst.Mean,
+	} {
+		want := map[string]float64{
+			"upper_bound":          537.5,
+			"possible_satisfy":     255,
+			"random_Dijkstra":      254.5,
+			"single_Dij_random":    187.5,
+			"priority_first_value": 249,
+		}[name]
+		if got != want {
+			t.Errorf("%s: got %v, want %v", name, got, want)
+		}
+	}
+
+	golden := map[datastaging.Pair][3]float64{
+		{Heuristic: datastaging.PartialPath, Criterion: datastaging.C1}:      {254.5, 254.5, 249},
+		{Heuristic: datastaging.PartialPath, Criterion: datastaging.C2}:      {254.5, 254.5, 249},
+		{Heuristic: datastaging.PartialPath, Criterion: datastaging.C3}:      {254, 254, 254},
+		{Heuristic: datastaging.PartialPath, Criterion: datastaging.C4}:      {254.5, 254.5, 249},
+		{Heuristic: datastaging.FullPathOneDest, Criterion: datastaging.C1}:  {254.5, 254.5, 249},
+		{Heuristic: datastaging.FullPathOneDest, Criterion: datastaging.C2}:  {254.5, 254.5, 249},
+		{Heuristic: datastaging.FullPathOneDest, Criterion: datastaging.C3}:  {254, 254, 254},
+		{Heuristic: datastaging.FullPathOneDest, Criterion: datastaging.C4}:  {254.5, 254.5, 249},
+		{Heuristic: datastaging.FullPathAllDests, Criterion: datastaging.C2}: {254.5, 254.5, 249},
+		{Heuristic: datastaging.FullPathAllDests, Criterion: datastaging.C3}: {254, 254, 254},
+		{Heuristic: datastaging.FullPathAllDests, Criterion: datastaging.C4}: {254.5, 254.5, 249},
+	}
+	if len(res.Pairs) != len(golden) {
+		t.Fatalf("pairs: got %d, want %d", len(res.Pairs), len(golden))
+	}
+	for _, ps := range res.Pairs {
+		want, ok := golden[ps.Pair]
+		if !ok {
+			t.Errorf("unexpected pair %v", ps.Pair)
+			continue
+		}
+		for i := 0; i < 3; i++ {
+			if got := ps.Points[i].Value.Mean; got != want[i] {
+				t.Errorf("%v point %d: got %v, want %v", ps.Pair, i, got, want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Package bounds computes the paper's two upper bounds on the weighted sum
+// of satisfied priorities (§5.2). The two lower bounds — the random-search
+// scheduling procedures — live in internal/core because they share the
+// heuristics' planning machinery; this package re-exports convenience
+// wrappers so callers find all four bounds in one place.
+package bounds
+
+import (
+	"datastaging/internal/core"
+	"datastaging/internal/dijkstra"
+	"datastaging/internal/model"
+	"datastaging/internal/scenario"
+	"datastaging/internal/state"
+)
+
+// Upper returns the loose upper bound ("upper_bound" in Figure 2): the
+// total weighted sum of the priorities of every request, as if all could be
+// satisfied.
+func Upper(sc *scenario.Scenario, w model.Weights) float64 {
+	return sc.TotalWeight(w)
+}
+
+// PossibleSatisfy returns the tighter upper bound ("possible_satisfy" in
+// Figure 2): the weighted sum over requests that could be satisfied if each
+// were the only request in the system. It runs one Dijkstra per item
+// against a pristine network. The second result is the number of such
+// requests.
+func PossibleSatisfy(sc *scenario.Scenario, w model.Weights) (float64, int) {
+	st := state.New(sc) // pristine; never committed to
+	var sum float64
+	var count int
+	for i := range sc.Items {
+		item := model.ItemID(i)
+		pl := dijkstra.Compute(st, item)
+		for _, rq := range sc.Item(item).Requests {
+			at := pl.Arrival[rq.Machine]
+			if pl.Reachable(rq.Machine) && !at.After(rq.Deadline) {
+				sum += w.Of(rq.Priority)
+				count++
+			}
+		}
+	}
+	return sum, count
+}
+
+// RandomDijkstra is the tighter lower bound: the partial path loop with
+// random step selection. See core.RandomDijkstra.
+func RandomDijkstra(sc *scenario.Scenario, w model.Weights, seed int64) (*core.Result, error) {
+	return core.RandomDijkstra(sc, w, seed)
+}
+
+// SingleDijkstraRandom is the looser lower bound: one pristine Dijkstra per
+// item, conflicts drop requests. See core.SingleDijkstraRandom.
+func SingleDijkstraRandom(sc *scenario.Scenario, w model.Weights, seed int64) (*core.Result, error) {
+	return core.SingleDijkstraRandom(sc, w, seed)
+}
+
+// PriorityFirst is the §5.4 strict-priority-order baseline. See
+// core.PriorityFirst.
+func PriorityFirst(sc *scenario.Scenario, w model.Weights) (*core.Result, error) {
+	return core.PriorityFirst(sc, w)
+}

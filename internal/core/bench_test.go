@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"datastaging/internal/dijkstra"
+	"datastaging/internal/gen"
+	"datastaging/internal/model"
+	"datastaging/internal/state"
+)
+
+// BenchmarkScheduleWithPlanCache measures the production scheduler: cached
+// shortest-path forests invalidated only on resource conflicts.
+func BenchmarkScheduleWithPlanCache(b *testing.B) {
+	sc := gen.MustGenerate(gen.Default(), 42)
+	cfg := Config{Heuristic: FullPathOneDest, Criterion: C4, EU: EUFromLog10(2), Weights: model.Weights1x10x100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(sc, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleParanoidRerun is the ablation: the paper's described
+// implementation that re-runs Dijkstra for every item on every iteration.
+// Results are identical (see TestPlanCacheMatchesParanoidRerun); this
+// benchmark quantifies what the exact plan cache buys.
+func BenchmarkScheduleParanoidRerun(b *testing.B) {
+	sc := gen.MustGenerate(gen.Default(), 42)
+	cfg := Config{Heuristic: FullPathOneDest, Criterion: C4, EU: EUFromLog10(2), Weights: model.Weights1x10x100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scheduleParanoid(sc, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDijkstraCompute measures one shortest-path forest computation on
+// a paper-scale network.
+func BenchmarkDijkstraCompute(b *testing.B) {
+	sc := gen.MustGenerate(gen.Default(), 42)
+	st := state.New(sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dijkstra.Compute(st, model.ItemID(i%len(sc.Items)))
+	}
+}
+
+// BenchmarkCandidates measures one candidate-generation pass over a fresh
+// planner (all forests computed, first-hop extraction, Drq grouping).
+func BenchmarkCandidates(b *testing.B) {
+	sc := gen.MustGenerate(gen.Default(), 42)
+	cfg := Config{Heuristic: PartialPath, Criterion: C4, EU: EUFromLog10(2), Weights: model.Weights1x10x100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := newPlanner(sc, cfg)
+		b.StartTimer()
+		if cands := p.candidates(); len(cands) == 0 {
+			b.Fatal("no candidates on a fresh paper-scale scenario")
+		}
+	}
+}
+
+// BenchmarkHeuristics measures a full schedule per heuristic at C4 — the
+// execution-time comparison the technical report tabulates.
+func BenchmarkHeuristics(b *testing.B) {
+	sc := gen.MustGenerate(gen.Default(), 42)
+	for _, h := range []Heuristic{PartialPath, FullPathOneDest, FullPathAllDests} {
+		b.Run(h.String(), func(b *testing.B) {
+			cfg := Config{Heuristic: h, Criterion: C4, EU: EUFromLog10(2), Weights: model.Weights1x10x100}
+			for i := 0; i < b.N; i++ {
+				if _, err := Schedule(sc, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCriteria measures cost-criterion overhead at a fixed heuristic.
+func BenchmarkCriteria(b *testing.B) {
+	sc := gen.MustGenerate(gen.Default(), 42)
+	for _, c := range []Criterion{C1, C2, C3, C4} {
+		b.Run(c.String(), func(b *testing.B) {
+			cfg := Config{Heuristic: PartialPath, Criterion: c, EU: EUFromLog10(2), Weights: model.Weights1x10x100}
+			for i := 0; i < b.N; i++ {
+				if _, err := Schedule(sc, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+
+	"datastaging/internal/dijkstra"
+	"datastaging/internal/model"
+	"datastaging/internal/scenario"
+	"datastaging/internal/simtime"
+	"datastaging/internal/state"
+)
+
+// Stats counts the work a scheduling run performed.
+type Stats struct {
+	// DijkstraRuns is how many shortest-path computations ran.
+	DijkstraRuns int
+	// CacheHits is how many times a cached forest was reused where the
+	// paper's described implementation would have re-run Dijkstra.
+	CacheHits int
+	// Invalidations is how many cached forests a committed transfer
+	// conflicted with.
+	Invalidations int
+	// Iterations is the number of select-and-commit rounds.
+	Iterations int
+	// Commits is the number of committed transfers (communication steps).
+	Commits int
+}
+
+// planner owns the resource state and the per-item plan cache for one
+// scheduling run.
+//
+// Cache invariant: a cached forest is exactly the forest Dijkstra would
+// produce against the current state. Committing a transfer can only shrink
+// resources, so a cached forest stays both feasible and optimal unless the
+// transfer overlaps one of its link slots or undercuts the capacity backing
+// one of its arrivals — in which case the forest is dropped and recomputed
+// on next use. The committed item's own forest is always dropped because it
+// gained a holder (its labels can improve).
+type planner struct {
+	st    *state.State
+	cfg   Config
+	plans []*dijkstra.Plan
+	// dead[i] marks an item with no satisfiable open request; resources
+	// only shrink, so dead items never revive and are skipped forever.
+	dead  []bool
+	stats Stats
+	// paranoid drops every cached forest on every commit, reproducing the
+	// paper's re-run-Dijkstra-each-iteration implementation. Tests compare
+	// it against the conflict-tracking cache to prove they are equivalent.
+	paranoid bool
+}
+
+func newPlanner(sc *scenario.Scenario, cfg Config) *planner {
+	return plannerOn(state.New(sc), cfg)
+}
+
+// plannerOn builds a planner over an existing (possibly pre-committed)
+// state.
+func plannerOn(st *state.State, cfg Config) *planner {
+	items := len(st.Scenario().Items)
+	return &planner{
+		st:    st,
+		cfg:   cfg,
+		plans: make([]*dijkstra.Plan, items),
+		dead:  make([]bool, items),
+	}
+}
+
+// plan returns the item's current forest, recomputing it if invalidated.
+func (p *planner) plan(item model.ItemID) *dijkstra.Plan {
+	if p.plans[item] == nil {
+		p.plans[item] = dijkstra.Compute(p.st, item)
+		p.stats.DijkstraRuns++
+	} else {
+		p.stats.CacheHits++
+	}
+	return p.plans[item]
+}
+
+// openRequests returns the indices of the item's requests that are neither
+// satisfied nor closed by a (possibly late) copy at the destination.
+func (p *planner) openRequests(item model.ItemID) []int {
+	it := p.st.Scenario().Item(item)
+	var open []int
+	for k, rq := range it.Requests {
+		if p.st.IsSatisfied(model.RequestID{Item: item, Index: k}) {
+			continue
+		}
+		if p.st.Holds(item, rq.Machine) {
+			continue // a copy arrived after the deadline; nothing more to do
+		}
+		open = append(open, k)
+	}
+	return open
+}
+
+// candidates builds every valid next communication step: for each live
+// item, the first hops of its forest toward its satisfiable open requests,
+// grouped by next machine (the paper's Drq[i, r]). Items that end up with
+// no satisfiable destination are marked dead.
+func (p *planner) candidates() []candidate {
+	sc := p.st.Scenario()
+	var out []candidate
+	for i := range sc.Items {
+		item := model.ItemID(i)
+		if p.dead[i] || !p.st.IsReleased(item) {
+			continue // never mark withheld items dead: they may be released later
+		}
+		open := p.openRequests(item)
+		if len(open) == 0 {
+			p.dead[i] = true
+			continue
+		}
+		pl := p.plan(item)
+		it := sc.Item(item)
+		firstLen := len(out)
+		// byR maps a next machine to its candidate's index in out.
+		var byR map[model.MachineID]int
+		for _, k := range open {
+			rq := &it.Requests[k]
+			at := pl.Arrival[rq.Machine]
+			if at == simtime.Never || at.After(rq.Deadline) {
+				continue // Sat = 0: no resources for this request (§4.8)
+			}
+			hop, ok := pl.FirstHopTo(rq.Machine)
+			if !ok {
+				continue
+			}
+			d := destInfo{
+				req:      model.RequestID{Item: item, Index: k},
+				machine:  rq.Machine,
+				weight:   p.cfg.Weights.Of(rq.Priority),
+				slackSec: rq.Deadline.Sub(at).Seconds(),
+			}
+			if byR == nil {
+				byR = make(map[model.MachineID]int, 4)
+			}
+			idx, seen := byR[hop.To]
+			if !seen {
+				idx = len(out)
+				byR[hop.To] = idx
+				out = append(out, candidate{item: item, hop: hop})
+			}
+			out[idx].dests = append(out[idx].dests, d)
+		}
+		if len(out) == firstLen {
+			// No satisfiable destination now means never: the item's own
+			// arrivals improve only when it is scheduled, which requires a
+			// candidate, and other commits only consume resources.
+			p.dead[i] = true
+		}
+	}
+	return out
+}
+
+// commit books one transfer and maintains the plan cache invariant.
+func (p *planner) commit(item model.ItemID, link model.LinkID, start simtime.Instant) error {
+	tr, err := p.st.Commit(item, link, start)
+	if err != nil {
+		return err
+	}
+	p.stats.Commits++
+	p.plans[item] = nil // gained a holder; labels can improve
+	if p.paranoid {
+		for i := range p.plans {
+			p.plans[i] = nil
+		}
+		return nil
+	}
+	for i, pl := range p.plans {
+		if pl == nil || p.dead[i] || model.ItemID(i) == item {
+			continue
+		}
+		if p.planConflicts(pl, tr) {
+			p.plans[i] = nil
+			p.stats.Invalidations++
+		}
+	}
+	return nil
+}
+
+// planConflicts reports whether a committed transfer can have changed the
+// cached forest: either it occupies link time one of the forest's hops was
+// counting on, or the capacity it consumed at the receiving machine no
+// longer backs the forest's planned copy there.
+func (p *planner) planConflicts(pl *dijkstra.Plan, tr state.Transfer) bool {
+	trSpan := simtime.Span(tr.Start, tr.Duration)
+	serial := p.st.SerialTransfers()
+	for v := range pl.Via {
+		if pl.Via[v] == dijkstra.NoLink {
+			continue
+		}
+		span := simtime.Span(pl.Start[v], pl.Dur[v])
+		if pl.Via[v] == tr.Link && span.Overlaps(trSpan) {
+			return true
+		}
+		if serial && span.Overlaps(trSpan) {
+			// The committed transfer occupies tr.From's send port and
+			// tr.To's receive port; a planned hop sharing either machine
+			// in an overlapping span may no longer fit. (Slightly
+			// conservative: send vs receive port distinctions are folded
+			// into a machine match; over-invalidation only costs a
+			// recompute.)
+			from, to := pl.Pred[v], model.MachineID(v)
+			if from == tr.From || from == tr.To || to == tr.From || to == tr.To {
+				return true
+			}
+		}
+	}
+	to := tr.To
+	if pl.Arrival[to] != simtime.Never && pl.Pred[to] != dijkstra.NoMachine {
+		size := p.st.Scenario().Item(pl.Item).SizeBytes
+		hold := p.st.HoldInterval(pl.Item, to, pl.Arrival[to])
+		if !p.st.Capacity(to).CanReserve(size, hold) {
+			return true
+		}
+	}
+	return false
+}
+
+// commitHop commits a single hop (the partial path heuristic's step).
+func (p *planner) commitHop(item model.ItemID, hop dijkstra.Hop) error {
+	return p.commit(item, hop.Link, hop.Start)
+}
+
+// commitPath commits every hop from the item's forest root to one
+// destination (the full path/one destination heuristic's step).
+func (p *planner) commitPath(item model.ItemID, dest model.MachineID) error {
+	hops, ok := p.plan(item).PathTo(dest)
+	if !ok {
+		return fmt.Errorf("core: no path for item %d to machine %d", item, dest)
+	}
+	for _, h := range hops {
+		if err := p.commit(item, h.Link, h.Start); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// commitTree commits the union of the forest paths to every destination of
+// the candidate (the full path/all destinations heuristic's step). The
+// union is a tree — each machine has one incoming planned hop — so hops are
+// deduplicated by receiving machine and committed in start order.
+func (p *planner) commitTree(item model.ItemID, c *candidate) error {
+	pl := p.plan(item)
+	seen := make(map[model.MachineID]bool, len(c.dests)*2)
+	var hops []dijkstra.Hop
+	for _, d := range c.dests {
+		path, ok := pl.PathTo(d.machine)
+		if !ok {
+			return fmt.Errorf("core: no path for item %d to machine %d", item, d.machine)
+		}
+		for _, h := range path {
+			if !seen[h.To] {
+				seen[h.To] = true
+				hops = append(hops, h)
+			}
+		}
+	}
+	// Parents always start (strictly) before their children finish, and a
+	// hop starts no earlier than its parent's arrival, so start order is a
+	// valid commit order.
+	sortHops(hops)
+	for _, h := range hops {
+		if err := p.commit(item, h.Link, h.Start); err != nil {
+			if p.st.SerialTransfers() {
+				// The forest's branches are individually feasible but may
+				// jointly contend for one machine's send or receive port.
+				// The shared first hop always commits (the state is
+				// unchanged since planning), so progress is guaranteed;
+				// a conflicting branch is simply deferred — its
+				// destination stays open and is re-planned from the
+				// freshly staged copies on a later iteration.
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func sortHops(hops []dijkstra.Hop) {
+	// Insertion sort: trees are small (bounded by machine count).
+	for i := 1; i < len(hops); i++ {
+		for j := i; j > 0 && less(hops[j], hops[j-1]); j-- {
+			hops[j], hops[j-1] = hops[j-1], hops[j]
+		}
+	}
+}
+
+func less(a, b dijkstra.Hop) bool {
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return a.To < b.To
+}

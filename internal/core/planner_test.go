@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"datastaging/internal/gen"
+	"datastaging/internal/model"
+)
+
+// TestPlanCacheMatchesParanoidRerun proves the conflict-tracking plan cache
+// is exact: for a spread of generated scenarios and every heuristic/
+// criterion pair, the cached scheduler and the re-run-everything scheduler
+// must produce identical schedules, while the cache does strictly less
+// Dijkstra work.
+func TestPlanCacheMatchesParanoidRerun(t *testing.T) {
+	p := gen.Default()
+	p.Machines = gen.IntRange{Min: 5, Max: 7}
+	p.RequestsPerMachine = gen.IntRange{Min: 5, Max: 10}
+	for seed := int64(1); seed <= 3; seed++ {
+		sc := gen.MustGenerate(p, seed)
+		for _, pair := range Pairs() {
+			cfg := Config{
+				Heuristic: pair.Heuristic,
+				Criterion: pair.Criterion,
+				EU:        EUFromLog10(0),
+				Weights:   model.Weights1x10x100,
+			}
+			cached, err := Schedule(sc, cfg)
+			if err != nil {
+				t.Fatalf("seed %d %v/%v cached: %v", seed, cfg.Heuristic, cfg.Criterion, err)
+			}
+			naive, err := scheduleParanoid(sc, cfg)
+			if err != nil {
+				t.Fatalf("seed %d %v/%v paranoid: %v", seed, cfg.Heuristic, cfg.Criterion, err)
+			}
+			if len(cached.Transfers) != len(naive.Transfers) {
+				t.Fatalf("seed %d %v/%v: %d vs %d transfers",
+					seed, cfg.Heuristic, cfg.Criterion, len(cached.Transfers), len(naive.Transfers))
+			}
+			for i := range cached.Transfers {
+				if cached.Transfers[i] != naive.Transfers[i] {
+					t.Fatalf("seed %d %v/%v: transfer %d differs: %+v vs %+v",
+						seed, cfg.Heuristic, cfg.Criterion, i, cached.Transfers[i], naive.Transfers[i])
+				}
+			}
+			if len(cached.Satisfied) != len(naive.Satisfied) {
+				t.Fatalf("seed %d %v/%v: satisfied %d vs %d",
+					seed, cfg.Heuristic, cfg.Criterion, len(cached.Satisfied), len(naive.Satisfied))
+			}
+			if cached.Stats.DijkstraRuns > naive.Stats.DijkstraRuns {
+				t.Errorf("seed %d %v/%v: cache ran more Dijkstras (%d) than paranoid (%d)",
+					seed, cfg.Heuristic, cfg.Criterion, cached.Stats.DijkstraRuns, naive.Stats.DijkstraRuns)
+			}
+		}
+	}
+}
+
+func TestPlannerMarksDeadItems(t *testing.T) {
+	p := gen.Default()
+	p.Machines = gen.IntRange{Min: 5, Max: 5}
+	p.RequestsPerMachine = gen.IntRange{Min: 8, Max: 8}
+	sc := gen.MustGenerate(p, 17)
+	cfg := Config{Heuristic: PartialPath, Criterion: C4, EU: EUFromLog10(0), Weights: model.Weights1x10x100}
+	pl := newPlanner(sc, cfg)
+	// Drain the scheduler fully.
+	for {
+		cands := pl.candidates()
+		if len(cands) == 0 {
+			break
+		}
+		bi, _ := selectBest(cands, cfg)
+		if err := pl.commitHop(cands[bi].item, cands[bi].hop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every item must be dead once no candidates remain: either its
+	// requests are closed or unsatisfiable.
+	for i, dead := range pl.dead {
+		if !dead {
+			t.Errorf("item %d not marked dead after drain", i)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package dijkstra implements the paper's adaptation of Dijkstra's
+// multiple-source shortest-path algorithm (§4.2) to the data staging model.
+//
+// For one requested data item, every machine currently holding a copy is a
+// source labeled with the instant its copy becomes available. The label of
+// any other machine is the earliest instant a copy could *arrive* there,
+// where traversing a virtual link means finding the earliest free slot on
+// that link at or after the copy is ready at the sending machine, entirely
+// inside the link's availability window, short enough that the sending
+// machine still holds its copy when the transfer completes, and such that
+// the receiving machine can store the copy until its own hold end (garbage
+// collection for intermediates, forever for destinations).
+//
+// Earliest-slot queries are monotone in the ready time, so label-setting
+// Dijkstra remains exact for arrival times: when a machine is popped its
+// label is the true earliest arrival achievable in the current resource
+// state (given the model decision that capacity feasibility is checked at
+// the earliest arrival — see DESIGN.md §2).
+package dijkstra
+
+import (
+	"container/heap"
+	"time"
+
+	"datastaging/internal/model"
+	"datastaging/internal/simtime"
+	"datastaging/internal/state"
+)
+
+// NoMachine and NoLink mark the absence of a predecessor in a Plan.
+const (
+	NoMachine model.MachineID = -1
+	NoLink    model.LinkID    = -1
+)
+
+// Plan is the shortest-path forest for one item in one resource state: per
+// machine, the earliest achievable arrival and the final hop that achieves
+// it. Machines holding the item are roots (Pred == NoMachine) labeled with
+// their copy's availability; unreachable machines have Arrival == Never.
+type Plan struct {
+	Item    model.ItemID
+	Arrival []simtime.Instant
+	Pred    []model.MachineID
+	Via     []model.LinkID
+	Start   []simtime.Instant
+	Dur     []time.Duration
+}
+
+// Hop is one transfer along a planned path.
+type Hop struct {
+	Link  model.LinkID
+	From  model.MachineID
+	To    model.MachineID
+	Start simtime.Instant
+	Dur   time.Duration
+}
+
+// Compute runs the adapted Dijkstra for one item against the current state.
+// The state is only read.
+func Compute(st *state.State, item model.ItemID) *Plan {
+	sc := st.Scenario()
+	net := sc.Network
+	m := net.NumMachines()
+	size := sc.Item(item).SizeBytes
+
+	p := &Plan{
+		Item:    item,
+		Arrival: make([]simtime.Instant, m),
+		Pred:    make([]model.MachineID, m),
+		Via:     make([]model.LinkID, m),
+		Start:   make([]simtime.Instant, m),
+		Dur:     make([]time.Duration, m),
+	}
+	// holdEnd[u] is when u's copy (existing or planned) disappears; the
+	// latest instant a transfer out of u may still be in flight.
+	holdEnd := make([]simtime.Instant, m)
+	for u := range p.Arrival {
+		p.Arrival[u] = simtime.Never
+		p.Pred[u] = NoMachine
+		p.Via[u] = NoLink
+	}
+	pq := &instantHeap{}
+	for _, h := range st.Holders(item) {
+		p.Arrival[h.Machine] = h.Avail
+		holdEnd[h.Machine] = h.End
+		heap.Push(pq, heapEntry{at: h.Avail, machine: h.Machine})
+	}
+
+	done := make([]bool, m)
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(heapEntry)
+		u := e.machine
+		if done[u] || e.at != p.Arrival[u] {
+			continue // stale entry
+		}
+		done[u] = true
+		// A copy may predate the planning floor, but new transfers cannot.
+		ready := simtime.MaxInstant(p.Arrival[u], st.Floor())
+		endU := holdEnd[u]
+		for _, g := range st.PhysGroups(u) {
+			v := g.To
+			if done[v] || st.Holds(item, v) {
+				continue
+			}
+			for _, id := range g.Links {
+				l := net.Link(id)
+				// Windows are sorted by start: once a window opens at or
+				// after u's copy disappears or after v's current best
+				// arrival, no later window of this physical link helps.
+				if l.Window.Start >= endU || l.Window.Start >= p.Arrival[v] {
+					break
+				}
+				d := l.TransferDuration(size)
+				slot, ok := st.EarliestTransferSlot(id, ready, d)
+				if !ok {
+					continue
+				}
+				arrival := slot.Add(d)
+				if arrival > endU { // sending copy garbage-collected mid-flight
+					continue
+				}
+				if arrival >= p.Arrival[v] {
+					continue
+				}
+				hold := st.HoldInterval(item, v, arrival)
+				if !st.Capacity(v).CanReserve(size, hold) {
+					continue
+				}
+				p.Arrival[v] = arrival
+				p.Pred[v] = u
+				p.Via[v] = id
+				p.Start[v] = slot
+				p.Dur[v] = d
+				holdEnd[v] = hold.End
+				heap.Push(pq, heapEntry{at: arrival, machine: v})
+			}
+		}
+	}
+	return p
+}
+
+// Reachable reports whether a copy can reach machine m in the current
+// state (holders are trivially reachable).
+func (p *Plan) Reachable(m model.MachineID) bool { return p.Arrival[m] != simtime.Never }
+
+// IsRoot reports whether machine m holds the item in the planned forest.
+func (p *Plan) IsRoot(m model.MachineID) bool {
+	return p.Arrival[m] != simtime.Never && p.Pred[m] == NoMachine
+}
+
+// PathTo returns the hops from the root holder to machine m in planned
+// order. It returns (nil, true) when m already holds the item and
+// (nil, false) when m is unreachable.
+func (p *Plan) PathTo(m model.MachineID) ([]Hop, bool) {
+	if !p.Reachable(m) {
+		return nil, false
+	}
+	var rev []Hop
+	for v := m; p.Pred[v] != NoMachine; v = p.Pred[v] {
+		rev = append(rev, Hop{
+			Link:  p.Via[v],
+			From:  p.Pred[v],
+			To:    v,
+			Start: p.Start[v],
+			Dur:   p.Dur[v],
+		})
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// FirstHopTo returns the first transfer on the planned path to machine m:
+// the hop out of the root holder. ok is false when m is unreachable or
+// already holds the item.
+func (p *Plan) FirstHopTo(m model.MachineID) (Hop, bool) {
+	hops, ok := p.PathTo(m)
+	if !ok || len(hops) == 0 {
+		return Hop{}, false
+	}
+	return hops[0], true
+}
+
+type heapEntry struct {
+	at      simtime.Instant
+	machine model.MachineID
+}
+
+type instantHeap []heapEntry
+
+func (h instantHeap) Len() int { return len(h) }
+func (h instantHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].machine < h[j].machine
+}
+func (h instantHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *instantHeap) Push(x any) { *h = append(*h, x.(heapEntry)) }
+
+func (h *instantHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,185 @@
+// Package dynamic extends the static data staging scheduler toward the
+// paper's stated future work (§1, §6): ad-hoc data requests that arrive
+// over time and communication links that fail. It is an event-driven
+// re-planning simulator built on the same heuristics:
+//
+//   - At time 0 the scheduler plans for every request known at time 0.
+//   - When new requests arrive (an ItemRelease event), the scheduler
+//     re-plans with the already-committed schedule locked in — exactly the
+//     paper's rule that "the scheduled transfers remain in the system"
+//     (§4.5) — and new transfers may only start at or after the event.
+//   - When a virtual link fails (a LinkFail event), the transfer in flight
+//     on it is lost along with everything causally downstream of the lost
+//     copy; the surviving schedule is replayed against the degraded
+//     network and the scheduler re-plans the rest. Requests whose
+//     deliveries were lost become open again.
+//
+// Link failures are where the paper's garbage-collection policy (§4.4)
+// earns its keep: copies retained at intermediate machines for γ after an
+// item's latest deadline are alternative sources for re-delivery, which is
+// exactly the fault-tolerance rationale the paper gives for keeping them.
+// TestGammaRetentionEnablesRecovery demonstrates the effect.
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"datastaging/internal/core"
+	"datastaging/internal/model"
+	"datastaging/internal/scenario"
+	"datastaging/internal/simtime"
+	"datastaging/internal/state"
+)
+
+// EventKind discriminates dynamic events.
+type EventKind int
+
+// The two event kinds.
+const (
+	// ItemRelease makes an item's requests known to the scheduler. Items
+	// never mentioned in any ItemRelease event are known at time 0.
+	ItemRelease EventKind = iota + 1
+	// LinkFail takes a virtual link down permanently at the event time.
+	LinkFail
+)
+
+// Event is one dynamic occurrence.
+type Event struct {
+	At   simtime.Instant
+	Kind EventKind
+	// Item is the released item (ItemRelease).
+	Item model.ItemID
+	// Link is the failed link (LinkFail).
+	Link model.LinkID
+}
+
+// Outcome is the result of a dynamic simulation.
+type Outcome struct {
+	// Transfers is the surviving committed schedule.
+	Transfers []state.Transfer
+	// Satisfied maps satisfied requests to delivery instants, after all
+	// failures.
+	Satisfied map[model.RequestID]simtime.Instant
+	// Aborted lists transfers lost to link failures (in flight or
+	// causally downstream of a lost copy).
+	Aborted []state.Transfer
+	// Replans counts scheduler invocations (one at time 0 plus one per
+	// event epoch).
+	Replans int
+	// Elapsed is total scheduling time across re-plans.
+	Elapsed time.Duration
+}
+
+// Simulate runs the event-driven re-planning loop. Events may be given in
+// any order; simultaneous events are applied together (releases before
+// failures at the same instant would be arbitrary, so all events of one
+// epoch apply before the epoch's re-plan).
+func Simulate(sc *scenario.Scenario, cfg core.Config, events []Event) (*Outcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	for i, ev := range events {
+		if err := checkEvent(sc, ev); err != nil {
+			return nil, fmt.Errorf("dynamic: event %d: %w", i, err)
+		}
+	}
+	evs := make([]Event, len(events))
+	copy(evs, events)
+	sort.SliceStable(evs, func(a, b int) bool { return evs[a].At < evs[b].At })
+
+	withheld := make(map[model.ItemID]bool)
+	for _, ev := range evs {
+		if ev.Kind == ItemRelease && ev.At > 0 {
+			withheld[ev.Item] = true
+		}
+	}
+	outages := make(map[model.LinkID]simtime.Instant)
+
+	out := &Outcome{}
+	begin := time.Now()
+	// Epoch 0: schedule everything known at time zero.
+	st := rebuild(sc, nil, withheld, outages, 0, out)
+	if err := replan(st, cfg, out); err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < len(evs); {
+		at := evs[i].At
+		for ; i < len(evs) && evs[i].At == at; i++ {
+			switch evs[i].Kind {
+			case ItemRelease:
+				delete(withheld, evs[i].Item)
+			case LinkFail:
+				if prev, ok := outages[evs[i].Link]; !ok || at < prev {
+					outages[evs[i].Link] = at
+				}
+			}
+		}
+		st = rebuild(sc, st.Transfers(), withheld, outages, at, out)
+		if err := replan(st, cfg, out); err != nil {
+			return nil, err
+		}
+	}
+
+	out.Transfers = st.Transfers()
+	out.Satisfied = st.Satisfied()
+	out.Elapsed = time.Since(begin)
+	return out, nil
+}
+
+func checkEvent(sc *scenario.Scenario, ev Event) error {
+	switch ev.Kind {
+	case ItemRelease:
+		if int(ev.Item) < 0 || int(ev.Item) >= len(sc.Items) {
+			return fmt.Errorf("unknown item %d", ev.Item)
+		}
+	case LinkFail:
+		if int(ev.Link) < 0 || int(ev.Link) >= len(sc.Network.Links) {
+			return fmt.Errorf("unknown link %d", ev.Link)
+		}
+	default:
+		return fmt.Errorf("unknown event kind %d", ev.Kind)
+	}
+	if ev.At < 0 {
+		return fmt.Errorf("negative event time %v", ev.At)
+	}
+	return nil
+}
+
+// rebuild reconstructs the world at an epoch: a fresh state with the
+// current outages and withheld items, the surviving history replayed, and
+// the planning floor advanced to the epoch. A historical transfer that no
+// longer commits — its link is down mid-flight, or the copy it ships never
+// arrived — is aborted, and the replay's causal ordering makes the loss
+// cascade to everything downstream.
+func rebuild(sc *scenario.Scenario, history []state.Transfer,
+	withheld map[model.ItemID]bool, outages map[model.LinkID]simtime.Instant,
+	floor simtime.Instant, out *Outcome) *state.State {
+
+	st := state.New(sc)
+	for item := range withheld {
+		st.WithholdItem(item)
+	}
+	for link, at := range outages {
+		st.FailLink(link, at)
+	}
+	for _, tr := range history {
+		if _, err := st.Commit(tr.Item, tr.Link, tr.Start); err != nil {
+			out.Aborted = append(out.Aborted, tr)
+		}
+	}
+	st.SetFloor(floor)
+	return st
+}
+
+func replan(st *state.State, cfg core.Config, out *Outcome) error {
+	res, err := core.ScheduleState(st, cfg)
+	if err != nil {
+		return fmt.Errorf("dynamic: replan %d: %w", out.Replans, err)
+	}
+	out.Replans++
+	out.Elapsed += res.Elapsed
+	return nil
+}

@@ -1,0 +1,153 @@
+// Package exhaustive finds provably optimal-within-its-policy-class
+// schedules for tiny data staging instances by branch-and-bound over
+// request commit orders. The paper observes that exhaustive search is
+// intractable at realistic sizes (§5.1) and therefore evaluates against
+// bounds instead; on toy instances, however, an exhaustive pass is feasible
+// and gives the tests a ground truth to measure the heuristics' optimality
+// gap against.
+//
+// The search space is the set of schedules obtainable by serving requests
+// one at a time, each along a currently shortest path (the same move
+// repertoire the heuristics use, in every possible order, with every
+// possible subset of requests skipped). This explores a superset of the
+// orderings any of the heuristic/cost-criterion pairs can produce, so its
+// optimum is an upper bound on every heuristic's value — though not
+// necessarily the global optimum over arbitrary schedules, since non-greedy
+// detours (deliberately slower paths that decongest a link) are outside the
+// repertoire. Tests treat it as the "best greedy-order schedule".
+package exhaustive
+
+import (
+	"fmt"
+
+	"datastaging/internal/dijkstra"
+	"datastaging/internal/model"
+	"datastaging/internal/scenario"
+	"datastaging/internal/state"
+)
+
+// MaxRequests caps the instance size Search accepts: the search explores
+// service orders, which is factorial in the request count.
+const MaxRequests = 8
+
+// Result is the best schedule the search found.
+type Result struct {
+	// Value is the weighted sum of priorities of satisfied requests.
+	Value float64
+	// Satisfied lists the requests the best schedule satisfies.
+	Satisfied []model.RequestID
+	// Explored counts the search-tree nodes visited.
+	Explored int
+}
+
+// Search exhaustively explores request service orders and returns the best
+// achievable weighted value. It fails on instances with more than
+// MaxRequests requests.
+func Search(sc *scenario.Scenario, w model.Weights) (*Result, error) {
+	reqs := sc.Requests()
+	if len(reqs) > MaxRequests {
+		return nil, fmt.Errorf("exhaustive: %d requests exceeds the %d-request cap", len(reqs), MaxRequests)
+	}
+	// Sort requests by descending weight so the bound prunes early.
+	byWeight := make([]model.RequestID, len(reqs))
+	copy(byWeight, reqs)
+	for i := 1; i < len(byWeight); i++ {
+		for j := i; j > 0; j-- {
+			a := w.Of(sc.Request(byWeight[j]).Priority)
+			b := w.Of(sc.Request(byWeight[j-1]).Priority)
+			if a <= b {
+				break
+			}
+			byWeight[j], byWeight[j-1] = byWeight[j-1], byWeight[j]
+		}
+	}
+	s := &searcher{sc: sc, w: w, reqs: byWeight}
+	s.dfs(state.New(sc), nil, 0)
+	return &Result{Value: s.bestValue, Satisfied: s.bestSet, Explored: s.explored}, nil
+}
+
+type searcher struct {
+	sc        *scenario.Scenario
+	w         model.Weights
+	reqs      []model.RequestID
+	bestValue float64
+	bestSet   []model.RequestID
+	explored  int
+}
+
+// dfs extends the schedule by serving one more pending request along its
+// current shortest path, trying every pending request at every level —
+// i.e., all service orders of all subsets, with branch-and-bound pruning.
+func (s *searcher) dfs(st *state.State, chosen []model.RequestID, value float64) {
+	s.explored++
+	if value > s.bestValue {
+		s.bestValue = value
+		s.bestSet = append([]model.RequestID(nil), chosen...)
+	}
+	// Bound: even satisfying every remaining request cannot beat the best.
+	remaining := 0.0
+	for _, id := range s.reqs {
+		if !st.IsSatisfied(id) {
+			remaining += s.w.Of(s.sc.Request(id).Priority)
+		}
+	}
+	if value+remaining <= s.bestValue {
+		return
+	}
+	for _, id := range s.reqs {
+		if st.IsSatisfied(id) {
+			continue
+		}
+		branch, gained, ok := s.serve(st, id)
+		if !ok {
+			continue
+		}
+		s.dfs(branch, append(chosen, id), value+gained)
+	}
+}
+
+// serve clones the state and commits the request's current shortest path.
+func (s *searcher) serve(st *state.State, id model.RequestID) (*state.State, float64, bool) {
+	rq := s.sc.Request(id)
+	pl := dijkstra.Compute(st, id.Item)
+	at := pl.Arrival[rq.Machine]
+	if !pl.Reachable(rq.Machine) || at.After(rq.Deadline) {
+		return nil, 0, false
+	}
+	hops, ok := pl.PathTo(rq.Machine)
+	if !ok {
+		return nil, 0, false
+	}
+	branch := clone(s.sc, st)
+	var gained float64
+	before := len(branch.Satisfied())
+	for _, h := range hops {
+		if _, err := branch.Commit(id.Item, h.Link, h.Start); err != nil {
+			return nil, 0, false
+		}
+	}
+	// Serving one request can incidentally satisfy others at machines along
+	// the path; count everything newly satisfied.
+	if len(branch.Satisfied()) <= before {
+		return nil, 0, false
+	}
+	for sid := range branch.Satisfied() {
+		if !st.IsSatisfied(sid) {
+			gained += s.w.Of(s.sc.Request(sid).Priority)
+		}
+	}
+	return branch, gained, true
+}
+
+// clone rebuilds a state by replaying the transfers; states are small on
+// the tiny instances this package accepts.
+func clone(sc *scenario.Scenario, st *state.State) *state.State {
+	out := state.New(sc)
+	for _, tr := range st.Transfers() {
+		if _, err := out.Commit(tr.Item, tr.Link, tr.Start); err != nil {
+			// Replaying a committed schedule cannot fail; treat as a bug.
+			panic(fmt.Sprintf("exhaustive: replay: %v", err))
+		}
+	}
+	return out
+}

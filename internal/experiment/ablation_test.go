@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"datastaging/internal/core"
+)
+
+func TestGammaSweep(t *testing.T) {
+	opts := tinyOptions()
+	opts.NumCases = 2
+	pair := core.Pair{Heuristic: core.FullPathOneDest, Criterion: core.C4}
+	points, err := GammaSweep(opts, []time.Duration{0, 6 * time.Minute, time.Hour}, pair, core.EUFromLog10(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points: got %d", len(points))
+	}
+	for _, pt := range points {
+		if pt.Value.Mean <= 0 {
+			t.Errorf("gamma %v: non-positive value %v", pt.Gamma, pt.Value.Mean)
+		}
+		if pt.MeanSatisfied <= 0 {
+			t.Errorf("gamma %v: no satisfied requests", pt.Gamma)
+		}
+	}
+	if _, err := GammaSweep(opts, nil, pair, core.EUFromLog10(2)); err == nil {
+		t.Error("empty gamma list should fail")
+	}
+	if _, err := GammaSweep(opts, []time.Duration{-time.Second}, pair, core.EUFromLog10(2)); err == nil {
+		t.Error("negative gamma should fail")
+	}
+}
+
+func TestArrivalSweep(t *testing.T) {
+	opts := tinyOptions()
+	opts.NumCases = 2
+	pair := core.Pair{Heuristic: core.FullPathOneDest, Criterion: core.C4}
+	points, err := ArrivalSweep(opts, []float64{0, 1}, pair, core.EUFromLog10(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points: got %d", len(points))
+	}
+	zero, all := points[0], points[1]
+	// Everything known upfront ⇒ online equals offline exactly.
+	if zero.OnlineValue != zero.OfflineValue || zero.RetainedFraction != 1 {
+		t.Errorf("fraction 0: %+v", zero)
+	}
+	if zero.MeanReplans != 1 {
+		t.Errorf("fraction 0: replans %v", zero.MeanReplans)
+	}
+	// Late knowledge can only hurt, and must trigger re-plans.
+	if all.OnlineValue.Mean > all.OfflineValue.Mean {
+		t.Errorf("fraction 1: online %v above offline %v", all.OnlineValue.Mean, all.OfflineValue.Mean)
+	}
+	if all.MeanReplans <= 1 {
+		t.Errorf("fraction 1: replans %v, want > 1", all.MeanReplans)
+	}
+	if all.RetainedFraction <= 0 || all.RetainedFraction > 1.0001 {
+		t.Errorf("fraction 1: retained %v", all.RetainedFraction)
+	}
+
+	if _, err := ArrivalSweep(opts, nil, pair, core.EUFromLog10(2)); err == nil {
+		t.Error("empty fraction list should fail")
+	}
+	if _, err := ArrivalSweep(opts, []float64{1.5}, pair, core.EUFromLog10(2)); err == nil {
+		t.Error("out-of-range fraction should fail")
+	}
+}
+
+func TestSerialComparison(t *testing.T) {
+	opts := tinyOptions()
+	opts.NumCases = 2
+	pair := core.Pair{Heuristic: core.FullPathOneDest, Criterion: core.C4}
+	pt, err := SerialComparison(opts, pair, core.EUFromLog10(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Serial.Mean > pt.Parallel.Mean {
+		t.Errorf("serialization should not increase value: %v vs %v", pt.Serial.Mean, pt.Parallel.Mean)
+	}
+	if pt.RetainedFraction <= 0 || pt.RetainedFraction > 1.0001 {
+		t.Errorf("fraction %v outside (0,1]", pt.RetainedFraction)
+	}
+}
+
+func TestFailureSweep(t *testing.T) {
+	opts := tinyOptions()
+	opts.NumCases = 2
+	pair := core.Pair{Heuristic: core.FullPathOneDest, Criterion: core.C4}
+	points, err := FailureSweep(opts, []int{0, 5}, pair, core.EUFromLog10(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points: got %d", len(points))
+	}
+	zero, five := points[0], points[1]
+	// With no failures the dynamic run equals the static run exactly.
+	if zero.DynamicValue != zero.StaticValue {
+		t.Errorf("0 failures: dynamic %+v != static %+v", zero.DynamicValue, zero.StaticValue)
+	}
+	if zero.RetainedFraction != 1 || zero.MeanAborted != 0 {
+		t.Errorf("0 failures: fraction %v aborted %v", zero.RetainedFraction, zero.MeanAborted)
+	}
+	if zero.MeanReplans != 1 {
+		t.Errorf("0 failures: replans %v, want 1", zero.MeanReplans)
+	}
+	// Failures can only take value away (recoveries are best-effort) and
+	// must trigger re-plans.
+	if five.DynamicValue.Mean > five.StaticValue.Mean {
+		t.Errorf("5 failures: dynamic %v above static %v", five.DynamicValue.Mean, five.StaticValue.Mean)
+	}
+	if five.RetainedFraction > 1.0001 || five.RetainedFraction <= 0 {
+		t.Errorf("5 failures: fraction %v outside (0,1]", five.RetainedFraction)
+	}
+	if five.MeanReplans < 2 {
+		t.Errorf("5 failures: replans %v, want >= 2", five.MeanReplans)
+	}
+
+	if _, err := FailureSweep(opts, nil, pair, core.EUFromLog10(2)); err == nil {
+		t.Error("empty failure list should fail")
+	}
+	if _, err := FailureSweep(opts, []int{-1}, pair, core.EUFromLog10(2)); err == nil {
+		t.Error("negative failure count should fail")
+	}
+}

@@ -1,0 +1,193 @@
+package experiment
+
+import (
+	"sync"
+	"testing"
+
+	"datastaging/internal/core"
+	"datastaging/internal/gen"
+	"datastaging/internal/model"
+)
+
+func tinyParams() gen.Params {
+	p := gen.Default()
+	p.Machines = gen.IntRange{Min: 5, Max: 5}
+	p.RequestsPerMachine = gen.IntRange{Min: 4, Max: 6}
+	return p
+}
+
+func tinyOptions() Options {
+	return Options{
+		Params:   tinyParams(),
+		NumCases: 3,
+		BaseSeed: 1,
+		Weights:  model.Weights1x10x100,
+		Sweep: []SweepPoint{
+			{Label: "-inf", EU: core.EUUrgencyOnly},
+			{Label: "0", EU: core.EUFromLog10(0)},
+			{Label: "inf", EU: core.EUPriorityOnly},
+		},
+	}
+}
+
+func TestStandardSweep(t *testing.T) {
+	sw := StandardSweep()
+	if len(sw) != 11 {
+		t.Fatalf("StandardSweep: got %d points, want 11", len(sw))
+	}
+	if sw[0].Label != "-inf" || sw[10].Label != "inf" {
+		t.Errorf("extremes: got %q, %q", sw[0].Label, sw[10].Label)
+	}
+	if sw[1].Label != "-3" || sw[9].Label != "5" {
+		t.Errorf("interior labels: got %q..%q", sw[1].Label, sw[9].Label)
+	}
+	if sw[4].EU.WE != 1 || sw[4].EU.WU != 1 {
+		t.Errorf("log10=0 point: got %+v", sw[4].EU)
+	}
+}
+
+func TestStatOf(t *testing.T) {
+	s := StatOf([]float64{3, 1, 2})
+	if s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.N != 3 {
+		t.Errorf("StatOf: got %+v", s)
+	}
+	if z := StatOf(nil); z != (Stat{}) {
+		t.Errorf("StatOf(nil): got %+v", z)
+	}
+}
+
+func TestRunStudy(t *testing.T) {
+	opts := tinyOptions()
+	var mu sync.Mutex
+	var calls int
+	opts.Progress = func(done, total int) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+	}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cases != 3 {
+		t.Errorf("Cases: got %d", res.Cases)
+	}
+	if len(res.Pairs) != 11 {
+		t.Fatalf("Pairs: got %d, want 11", len(res.Pairs))
+	}
+	if len(res.SweepLabels) != 3 {
+		t.Fatalf("SweepLabels: got %v", res.SweepLabels)
+	}
+	wantCalls := 11*3*3 + 3
+	if calls != wantCalls {
+		t.Errorf("Progress calls: got %d, want %d", calls, wantCalls)
+	}
+	// Bound sanity on aggregates.
+	if res.Upper.Mean < res.PossibleSatisfy.Mean {
+		t.Errorf("upper (%v) below possible_satisfy (%v)", res.Upper.Mean, res.PossibleSatisfy.Mean)
+	}
+	for _, ps := range res.Pairs {
+		for si, pt := range ps.Points {
+			if pt.Value.Mean < 0 || pt.Value.Mean > res.PossibleSatisfy.Max {
+				t.Errorf("%v point %d: mean %v outside [0, possible max %v]",
+					ps.Pair, si, pt.Value.Mean, res.PossibleSatisfy.Max)
+			}
+			if pt.Value.Min > pt.Value.Mean || pt.Value.Mean > pt.Value.Max {
+				t.Errorf("%v point %d: min/mean/max disordered: %+v", ps.Pair, si, pt.Value)
+			}
+			if pt.MeanSatisfied > 0 && pt.MeanHops <= 0 {
+				t.Errorf("%v point %d: satisfied requests but zero hops", ps.Pair, si)
+			}
+		}
+	}
+	// Lookup helper.
+	ps, ok := res.PairByName(core.FullPathOneDest, core.C4)
+	if !ok {
+		t.Fatal("PairByName(full_one, C4) missing")
+	}
+	best := ps.BestPoint()
+	if best < 0 || best >= 3 {
+		t.Errorf("BestPoint: got %d", best)
+	}
+	if _, ok := res.PairByName(core.FullPathAllDests, core.C1); ok {
+		t.Error("excluded pairing should not be present")
+	}
+}
+
+func TestRunStudyDeterministic(t *testing.T) {
+	opts := tinyOptions()
+	opts.Pairs = []core.Pair{{Heuristic: core.PartialPath, Criterion: core.C4}}
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range a.Pairs[0].Points {
+		if a.Pairs[0].Points[si].Value != b.Pairs[0].Points[si].Value {
+			t.Errorf("point %d differs across identical runs", si)
+		}
+	}
+	if a.Upper != b.Upper || a.RandomDijkstra != b.RandomDijkstra {
+		t.Error("bounds differ across identical runs")
+	}
+}
+
+func TestRunStudyPropagatesSchedulerErrors(t *testing.T) {
+	opts := tinyOptions()
+	// The excluded pairing fails config validation inside the worker; Run
+	// must surface it instead of hanging or dropping it.
+	opts.Pairs = []core.Pair{{Heuristic: core.FullPathAllDests, Criterion: core.C1}}
+	if _, err := Run(opts); err == nil {
+		t.Error("Run should surface the scheduler's config error")
+	}
+}
+
+func TestRunStudyRejectsMissingWeights(t *testing.T) {
+	opts := tinyOptions()
+	opts.Weights = nil
+	if _, err := Run(opts); err == nil {
+		t.Error("Run without weights should fail")
+	}
+}
+
+func TestCongestionSweep(t *testing.T) {
+	opts := tinyOptions()
+	opts.NumCases = 2
+	pair := core.Pair{Heuristic: core.FullPathOneDest, Criterion: core.C4}
+	res, err := CongestionSweep(opts, []int{3, 10}, pair, core.EUFromLog10(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points: got %d", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.SatisfiedFraction < 0 || pt.SatisfiedFraction > 1.0001 {
+			t.Errorf("load %d: fraction %v outside [0,1]", pt.RequestsPerMachine, pt.SatisfiedFraction)
+		}
+		if pt.Upper.Mean < pt.PossibleSatisfy.Mean {
+			t.Errorf("load %d: upper below possible", pt.RequestsPerMachine)
+		}
+	}
+	// Heavier load must offer at least as much total weight upstream.
+	if res.Points[1].Upper.Mean <= res.Points[0].Upper.Mean {
+		t.Errorf("upper bound should grow with load: %v vs %v",
+			res.Points[0].Upper.Mean, res.Points[1].Upper.Mean)
+	}
+	// Contention can only hurt the satisfiable fraction, up to noise; allow
+	// equality plus slack rather than asserting strict monotonicity.
+	if res.Points[1].SatisfiedFraction > res.Points[0].SatisfiedFraction+0.25 {
+		t.Errorf("fraction rose sharply with congestion: %v -> %v",
+			res.Points[0].SatisfiedFraction, res.Points[1].SatisfiedFraction)
+	}
+
+	if _, err := CongestionSweep(opts, nil, pair, core.EUFromLog10(0)); err == nil {
+		t.Error("empty load list should fail")
+	}
+	if _, err := CongestionSweep(opts, []int{0}, pair, core.EUFromLog10(0)); err == nil {
+		t.Error("zero load should fail")
+	}
+}

@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"datastaging/internal/core"
+	"datastaging/internal/gen"
+	"datastaging/internal/model"
+)
+
+// TestPaperShapes is the reproduction regression: on a moderate-scale
+// seeded study it asserts every qualitative ordering the paper reports.
+// If a refactor silently changes scheduler behavior, this is the test that
+// should notice.
+func TestPaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full (reduced-size) study")
+	}
+	p := gen.Default()
+	p.Machines = gen.IntRange{Min: 8, Max: 8}
+	p.RequestsPerMachine = gen.IntRange{Min: 15, Max: 15}
+	res, err := Run(Options{
+		Params:   p,
+		NumCases: 6,
+		BaseSeed: 1,
+		Weights:  model.Weights1x10x100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	best := func(h core.Heuristic, c core.Criterion) float64 {
+		ps, ok := res.PairByName(h, c)
+		if !ok {
+			t.Fatalf("pair %v/%v missing", h, c)
+		}
+		return ps.Points[ps.BestPoint()].Value.Mean
+	}
+
+	// Figure 2 ordering: single_Dij_random < random_Dijkstra < heuristics
+	// <= possible_satisfy <= upper_bound.
+	if !(res.SingleDijkstraRandom.Mean < res.RandomDijkstra.Mean) {
+		t.Errorf("single_Dij_random (%v) should be below random_Dijkstra (%v)",
+			res.SingleDijkstraRandom.Mean, res.RandomDijkstra.Mean)
+	}
+	for _, h := range []core.Heuristic{core.PartialPath, core.FullPathOneDest, core.FullPathAllDests} {
+		v := best(h, core.C4)
+		if !(v > res.RandomDijkstra.Mean) {
+			t.Errorf("%v/C4 best (%v) should beat random_Dijkstra (%v)", h, v, res.RandomDijkstra.Mean)
+		}
+		if v > res.PossibleSatisfy.Mean {
+			t.Errorf("%v/C4 best (%v) above possible_satisfy (%v)", h, v, res.PossibleSatisfy.Mean)
+		}
+	}
+	if res.PossibleSatisfy.Mean > res.Upper.Mean {
+		t.Errorf("possible_satisfy (%v) above upper_bound (%v)", res.PossibleSatisfy.Mean, res.Upper.Mean)
+	}
+
+	// §5.4: every pair's best beats priority_first.
+	for i := range res.Pairs {
+		ps := &res.Pairs[i]
+		v := ps.Points[ps.BestPoint()].Value.Mean
+		if v <= res.PriorityFirst.Mean {
+			t.Errorf("%v best (%v) does not beat priority_first (%v)", ps.Pair, v, res.PriorityFirst.Mean)
+		}
+	}
+
+	// C3 is flat across the E-U sweep (it ignores W_E/W_U).
+	for _, h := range []core.Heuristic{core.PartialPath, core.FullPathOneDest, core.FullPathAllDests} {
+		ps, _ := res.PairByName(h, core.C3)
+		first := ps.Points[0].Value.Mean
+		for si, pt := range ps.Points {
+			if math.Abs(pt.Value.Mean-first) > 1e-9 {
+				t.Errorf("%v/C3 varies across the sweep at point %d: %v vs %v", h, si, pt.Value.Mean, first)
+			}
+		}
+	}
+
+	// The urgency-only extreme underperforms the best point for the
+	// ratio-sensitive criteria (the figures' rising shape).
+	for _, h := range []core.Heuristic{core.PartialPath, core.FullPathOneDest} {
+		for _, c := range []core.Criterion{core.C1, core.C2, core.C4} {
+			ps, _ := res.PairByName(h, c)
+			bestV := ps.Points[ps.BestPoint()].Value.Mean
+			urgOnly := ps.Points[0].Value.Mean // "-inf" is the first sweep point
+			if !(urgOnly < bestV) {
+				t.Errorf("%v/%v: urgency-only (%v) should trail the best point (%v)", h, c, urgOnly, bestV)
+			}
+		}
+	}
+
+	// full_all needs the fewest Dijkstra executions, partial the most
+	// (§4.7's motivation), comparing each pair at C4's best point.
+	dij := func(h core.Heuristic) float64 {
+		ps, _ := res.PairByName(h, core.C4)
+		return ps.Points[ps.BestPoint()].MeanDijkstraRuns
+	}
+	if !(dij(core.FullPathAllDests) < dij(core.FullPathOneDest)) ||
+		!(dij(core.FullPathOneDest) < dij(core.PartialPath)) {
+		t.Errorf("Dijkstra-run ordering violated: full_all %v, full_one %v, partial %v",
+			dij(core.FullPathAllDests), dij(core.FullPathOneDest), dij(core.PartialPath))
+	}
+}

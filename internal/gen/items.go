@@ -1,0 +1,74 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"datastaging/internal/model"
+	"datastaging/internal/simtime"
+)
+
+// generateItems builds data items until the total request count reaches the
+// drawn target of RequestsPerMachine × machines (§5.3). Each item draws its
+// source count, destination count, size, per-source availability times, and
+// per-request deadlines and priorities; sources and destinations are
+// disjoint machine sets.
+func generateItems(p Params, rng *rand.Rand, numMachines int) []model.Item {
+	targetRequests := p.RequestsPerMachine.draw(rng) * numMachines
+	var items []model.Item
+	total := 0
+	for total < targetRequests {
+		it := generateItem(p, rng, numMachines, model.ItemID(len(items)), targetRequests-total)
+		items = append(items, it)
+		total += len(it.Requests)
+	}
+	return items
+}
+
+func generateItem(p Params, rng *rand.Rand, numMachines int, id model.ItemID, budget int) model.Item {
+	ns := p.SourcesPerItem.draw(rng)
+	nd := p.DestsPerItem.draw(rng)
+	if nd > budget {
+		nd = budget
+	}
+	// Sources and destinations must be disjoint and each unique, so we need
+	// ns+nd distinct machines.
+	if ns+nd > numMachines {
+		// Shrink sources first (one source is always enough), then dests.
+		if ns > numMachines-nd {
+			ns = numMachines - nd
+		}
+		if ns < 1 {
+			ns = 1
+			nd = numMachines - 1
+		}
+	}
+	perm := rng.Perm(numMachines)
+	srcMachines := perm[:ns]
+	dstMachines := perm[ns : ns+nd]
+
+	sources := make([]model.Source, ns)
+	earliest := simtime.Never
+	for k, sm := range srcMachines {
+		avail := simtime.At(p.ItemStart.draw(rng))
+		sources[k] = model.Source{Machine: model.MachineID(sm), Available: avail}
+		if avail.Before(earliest) {
+			earliest = avail
+		}
+	}
+	requests := make([]model.Request, nd)
+	for k, dm := range dstMachines {
+		requests[k] = model.Request{
+			Machine:  model.MachineID(dm),
+			Deadline: earliest.Add(p.DeadlineAfterStart.draw(rng)),
+			Priority: model.Priority(rng.Intn(p.Priorities)),
+		}
+	}
+	return model.Item{
+		ID:        id,
+		Name:      fmt.Sprintf("item%d", id),
+		SizeBytes: p.SizeBytes.draw(rng),
+		Sources:   sources,
+		Requests:  requests,
+	}
+}

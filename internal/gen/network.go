@@ -1,0 +1,163 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"datastaging/internal/model"
+	"datastaging/internal/simtime"
+)
+
+// generateNetwork builds the machines, physical topology, and virtual links.
+//
+// Strong connectivity is guaranteed by construction: a random Hamiltonian
+// cycle is laid down first, then each machine's out-degree is padded up to
+// its drawn target with random distinct neighbors (the paper only states
+// that its generator "guarantees that the generated communication system is
+// strongly connected" without giving the mechanism).
+func generateNetwork(p Params, rng *rand.Rand) (*model.Network, error) {
+	m := p.Machines.draw(rng)
+	machines := make([]model.Machine, m)
+	for i := range machines {
+		machines[i] = model.Machine{
+			ID:            model.MachineID(i),
+			Name:          fmt.Sprintf("m%d", i),
+			CapacityBytes: p.CapacityBytes.draw(rng),
+		}
+	}
+
+	// neighbors[u] is the set of machines u has physical links toward.
+	neighbors := make([]map[model.MachineID]bool, m)
+	for i := range neighbors {
+		neighbors[i] = make(map[model.MachineID]bool)
+	}
+
+	// Hamiltonian cycle over a random permutation.
+	perm := rng.Perm(m)
+	for i := 0; i < m; i++ {
+		u := model.MachineID(perm[i])
+		v := model.MachineID(perm[(i+1)%m])
+		neighbors[u][v] = true
+	}
+
+	// Pad out-degrees.
+	for u := 0; u < m; u++ {
+		target := p.OutDegree.draw(rng)
+		if target > m-1 {
+			target = m - 1
+		}
+		for len(neighbors[u]) < target {
+			v := model.MachineID(rng.Intn(m))
+			if int(v) == u {
+				continue
+			}
+			neighbors[u][v] = true
+		}
+	}
+
+	// Expand each connected ordered pair into 1..MaxPhysicalPerPair
+	// physical links, and each physical link into its virtual links.
+	var links []model.VirtualLink
+	physical := 0
+	for u := 0; u < m; u++ {
+		// Iterate neighbors in machine order for determinism.
+		for v := 0; v < m; v++ {
+			if !neighbors[u][model.MachineID(v)] {
+				continue
+			}
+			nphys := 1 + rng.Intn(p.MaxPhysicalPerPair)
+			for pl := 0; pl < nphys; pl++ {
+				windows := generateWindows(p, rng)
+				bw := p.BandwidthBPS.draw(rng)
+				lat := p.Latency.draw(rng)
+				for _, w := range windows {
+					links = append(links, model.VirtualLink{
+						ID:           model.LinkID(len(links)),
+						From:         model.MachineID(u),
+						To:           model.MachineID(v),
+						Window:       w,
+						BandwidthBPS: bw,
+						Latency:      lat,
+						Physical:     physical,
+					})
+				}
+				physical++
+			}
+		}
+	}
+
+	net, err := model.NewNetwork(machines, links)
+	if err != nil {
+		return nil, fmt.Errorf("gen: network construction: %w", err)
+	}
+	if !net.StronglyConnected() {
+		// Unreachable given the Hamiltonian cycle, but fail loudly if the
+		// construction is ever changed carelessly.
+		return nil, model.ErrNotStronglyConnected
+	}
+	return net, nil
+}
+
+// generateWindows lays one physical link's virtual-link windows across the
+// day (§5.3): draw a window duration and an availability percentage, derive
+// the window count, place the first window within the first third of the
+// total unavailable time, and spread the remaining slack randomly across the
+// inter-window gaps and the tail.
+func generateWindows(p Params, rng *rand.Rand) []simtime.Interval {
+	dur := p.WindowDurations[rng.Intn(len(p.WindowDurations))]
+	pct := p.AvailablePercents[rng.Intn(len(p.AvailablePercents))]
+	availTotal := p.Day * time.Duration(pct) / 100
+	n := int(availTotal / dur)
+	if n < 1 {
+		n = 1
+	}
+	// With n windows of length dur, the unavailable time is what remains of
+	// the day.
+	unavailable := p.Day - time.Duration(n)*dur
+	if unavailable < 0 {
+		unavailable = 0
+	}
+	var first time.Duration
+	if unavailable > 0 {
+		first = time.Duration(rng.Int63n(int64(unavailable/3) + 1))
+	}
+	// Split the remaining slack over n-1 inter-window gaps plus the tail.
+	slack := unavailable - first
+	gaps := splitDuration(rng, slack, n) // gaps[k] precedes window k+1; gaps[n-1] is tail slack (unused)
+	windows := make([]simtime.Interval, 0, n)
+	start := first
+	for k := 0; k < n; k++ {
+		windows = append(windows, simtime.Interval{
+			Start: simtime.At(start),
+			End:   simtime.At(start + dur),
+		})
+		start += dur + gaps[k]
+	}
+	return windows
+}
+
+// splitDuration partitions total into n non-negative parts uniformly at
+// random (stick-breaking over integer nanoseconds).
+func splitDuration(rng *rand.Rand, total time.Duration, n int) []time.Duration {
+	parts := make([]time.Duration, n)
+	if n == 0 {
+		return parts
+	}
+	if total <= 0 {
+		return parts
+	}
+	// Draw n-1 cut points in [0, total] and sort them implicitly by
+	// repeatedly drawing remaining shares; a simple sequential split keeps
+	// this deterministic and unbiased enough for workload generation.
+	remaining := total
+	for k := 0; k < n-1; k++ {
+		share := time.Duration(rng.Int63n(int64(remaining) + 1))
+		// Temper the first draws so early gaps don't swallow everything.
+		share /= 2
+		parts[k] = share
+		remaining -= share
+	}
+	parts[n-1] = remaining
+	return parts
+}

@@ -1,0 +1,136 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotStronglyConnected is returned by validation when the physical
+// topology does not admit a path between every ordered pair of machines.
+// The paper's test generator guarantees strong connectivity (§5.1).
+var ErrNotStronglyConnected = errors.New("model: network is not strongly connected")
+
+// Network is the communication system: the machine list and every virtual
+// link, with adjacency precomputed for traversal.
+type Network struct {
+	Machines []Machine     `json:"machines"`
+	Links    []VirtualLink `json:"links"`
+
+	out [][]LinkID // outgoing virtual links per machine, lazily built
+}
+
+// NewNetwork validates the machines and links and returns a Network with
+// adjacency built. The links slice is indexed by LinkID, so link IDs must
+// equal their positions (same for machines).
+func NewNetwork(machines []Machine, links []VirtualLink) (*Network, error) {
+	n := &Network{Machines: machines, Links: links}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	n.buildAdjacency()
+	return n, nil
+}
+
+// Validate checks structural invariants: positional IDs, in-range endpoints,
+// no self-links, positive bandwidth, non-empty windows, non-negative
+// capacities and latencies. It does not require strong connectivity; use
+// StronglyConnected for that (the generator enforces it, hand-built
+// scenarios need not).
+func (n *Network) Validate() error {
+	if len(n.Machines) == 0 {
+		return errors.New("model: network has no machines")
+	}
+	for i, m := range n.Machines {
+		if int(m.ID) != i {
+			return fmt.Errorf("model: machine at index %d has ID %d", i, m.ID)
+		}
+		if m.CapacityBytes < 0 {
+			return fmt.Errorf("model: machine %d has negative capacity", i)
+		}
+	}
+	for i, l := range n.Links {
+		if int(l.ID) != i {
+			return fmt.Errorf("model: link at index %d has ID %d", i, l.ID)
+		}
+		if !n.validMachine(l.From) || !n.validMachine(l.To) {
+			return fmt.Errorf("model: link %d endpoints (%d→%d) out of range", i, l.From, l.To)
+		}
+		if l.From == l.To {
+			return fmt.Errorf("model: link %d is a self-link on machine %d", i, l.From)
+		}
+		if l.BandwidthBPS <= 0 {
+			return fmt.Errorf("model: link %d has non-positive bandwidth %d", i, l.BandwidthBPS)
+		}
+		if l.Window.IsEmpty() {
+			return fmt.Errorf("model: link %d has empty window %v", i, l.Window)
+		}
+		if l.Latency < 0 {
+			return fmt.Errorf("model: link %d has negative latency %v", i, l.Latency)
+		}
+	}
+	return nil
+}
+
+func (n *Network) validMachine(m MachineID) bool {
+	return m >= 0 && int(m) < len(n.Machines)
+}
+
+func (n *Network) buildAdjacency() {
+	n.out = make([][]LinkID, len(n.Machines))
+	for _, l := range n.Links {
+		n.out[l.From] = append(n.out[l.From], l.ID)
+	}
+}
+
+// Outgoing returns the IDs of every virtual link departing machine m. The
+// returned slice is shared; callers must not mutate it.
+func (n *Network) Outgoing(m MachineID) []LinkID {
+	if n.out == nil {
+		n.buildAdjacency()
+	}
+	return n.out[m]
+}
+
+// Link returns the virtual link with the given ID.
+func (n *Network) Link(id LinkID) *VirtualLink { return &n.Links[id] }
+
+// Machine returns the machine with the given ID.
+func (n *Network) Machine(id MachineID) *Machine { return &n.Machines[id] }
+
+// NumMachines returns the machine count m.
+func (n *Network) NumMachines() int { return len(n.Machines) }
+
+// StronglyConnected reports whether the physical topology (ignoring link
+// windows) has a directed path between every ordered pair of machines. It
+// runs one forward and one backward reachability sweep from machine 0.
+func (n *Network) StronglyConnected() bool {
+	if len(n.Machines) == 0 {
+		return false
+	}
+	fwd := make([][]MachineID, len(n.Machines))
+	bwd := make([][]MachineID, len(n.Machines))
+	for _, l := range n.Links {
+		fwd[l.From] = append(fwd[l.From], l.To)
+		bwd[l.To] = append(bwd[l.To], l.From)
+	}
+	return reachesAll(fwd, 0) && reachesAll(bwd, 0)
+}
+
+func reachesAll(adj [][]MachineID, start MachineID) bool {
+	seen := make([]bool, len(adj))
+	stack := []MachineID{start}
+	seen[start] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == len(adj)
+}

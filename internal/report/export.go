@@ -1,0 +1,98 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"datastaging/internal/model"
+	"datastaging/internal/scenario"
+	"datastaging/internal/state"
+)
+
+// DOT renders the network topology as a Graphviz digraph: one node per
+// machine (with its storage), one edge per physical link (with its
+// bandwidth and how many availability windows it contributes). Feed it to
+// `dot -Tsvg` to see a scenario's shape.
+func DOT(sc *scenario.Scenario) string {
+	var b strings.Builder
+	b.WriteString("digraph network {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=box];\n")
+	for _, m := range sc.Network.Machines {
+		name := m.Name
+		if name == "" {
+			name = fmt.Sprintf("m%d", m.ID)
+		}
+		fmt.Fprintf(&b, "  m%d [label=\"%s\\n%s\"];\n", m.ID, name, bytesLabel(m.CapacityBytes))
+	}
+	type physKey struct {
+		phys int
+	}
+	type physAgg struct {
+		from, to model.MachineID
+		bps      int64
+		windows  int
+	}
+	agg := make(map[physKey]*physAgg)
+	var order []physKey
+	for _, l := range sc.Network.Links {
+		k := physKey{l.Physical}
+		a := agg[k]
+		if a == nil {
+			a = &physAgg{from: l.From, to: l.To, bps: l.BandwidthBPS}
+			agg[k] = a
+			order = append(order, k)
+		}
+		a.windows++
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].phys < order[j].phys })
+	for _, k := range order {
+		a := agg[k]
+		fmt.Fprintf(&b, "  m%d -> m%d [label=\"%s, %d win\"];\n",
+			a.from, a.to, bpsLabel(a.bps), a.windows)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func bytesLabel(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+func bpsLabel(n int64) string {
+	switch {
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1f Mbit/s", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.0f kbit/s", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d bit/s", n)
+	}
+}
+
+// TransfersCSV writes a committed schedule as CSV for external analysis:
+// one row per transfer with item, endpoints, link, and timing in seconds.
+func TransfersCSV(w io.Writer, sc *scenario.Scenario, transfers []state.Transfer) error {
+	if _, err := fmt.Fprintln(w, "item,name,from,to,link,startSec,durationSec,arrivalSec"); err != nil {
+		return err
+	}
+	for _, tr := range transfers {
+		_, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%.3f,%.3f,%.3f\n",
+			tr.Item, escapeCSV(sc.Item(tr.Item).Name), tr.From, tr.To, tr.Link,
+			tr.Start.Seconds(), tr.Duration.Seconds(), tr.Arrival.Seconds())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

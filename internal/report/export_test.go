@@ -1,0 +1,76 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"datastaging/internal/core"
+	"datastaging/internal/model"
+	"datastaging/internal/testnet"
+)
+
+func TestDOT(t *testing.T) {
+	sc := testnet.Line(3, 1024, 8000, time.Hour)
+	out := DOT(sc)
+	for _, want := range []string{
+		"digraph network", "m0 [label=", "m0 -> m1", "m2 -> m1", "8 kbit/s", "1 win",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Edge count: one per physical link (Line has 4 unidirectional links).
+	if got := strings.Count(out, "->"); got != 4 {
+		t.Errorf("edges: got %d, want 4", got)
+	}
+}
+
+func TestBytesAndBpsLabels(t *testing.T) {
+	for _, tc := range []struct {
+		n    int64
+		want string
+	}{
+		{500, "500 B"}, {2 << 10, "2.0 KB"}, {3 << 20, "3.0 MB"}, {4 << 30, "4.0 GB"},
+	} {
+		if got := bytesLabel(tc.n); got != tc.want {
+			t.Errorf("bytesLabel(%d): got %q, want %q", tc.n, got, tc.want)
+		}
+	}
+	for _, tc := range []struct {
+		n    int64
+		want string
+	}{
+		{500, "500 bit/s"}, {56_000, "56 kbit/s"}, {1_500_000, "1.5 Mbit/s"},
+	} {
+		if got := bpsLabel(tc.n); got != tc.want {
+			t.Errorf("bpsLabel(%d): got %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestTransfersCSV(t *testing.T) {
+	sc := testnet.Line(3, 1024, 8000, time.Hour)
+	res, err := core.Schedule(sc, core.Config{
+		Heuristic: core.PartialPath, Criterion: core.C4,
+		EU: core.EUFromLog10(0), Weights: model.Weights1x10x100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := TransfersCSV(&buf, sc, res.Transfers); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 { // header + 2 hops
+		t.Fatalf("lines: got %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "item,name,from,to,link") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "item0") || !strings.Contains(lines[1], "0.000") {
+		t.Errorf("row: %q", lines[1])
+	}
+}

@@ -1,0 +1,156 @@
+// Package report renders study results for terminals and files: ASCII line
+// charts that mirror the paper's figures, aligned text tables, and CSV for
+// external plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+)
+
+// Series is one named line of a chart: a value per x position.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// markers label series in a chart, in order.
+const markers = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+// Chart renders the series as an ASCII line chart over categorical x
+// labels. Each series is drawn with a letter marker; colliding points
+// render as '+'. The y axis starts at zero (the paper's figures do) and is
+// labeled on the left.
+func Chart(title string, xLabels []string, series []Series, height int) string {
+	if height < 2 {
+		height = 2
+	}
+	if len(xLabels) == 0 || len(series) == 0 {
+		return title + "\n(no data)\n"
+	}
+	maxV := 0.0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if !math.IsNaN(v) && v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+
+	const colWidth = 6 // characters per x position
+	width := colWidth * len(xLabels)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	row := func(v float64) int {
+		r := height - 1 - int(math.Round(v/maxV*float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for xi, v := range s.Values {
+			if xi >= len(xLabels) || math.IsNaN(v) {
+				continue
+			}
+			col := xi*colWidth + colWidth/2
+			r := row(v)
+			if grid[r][col] != ' ' && grid[r][col] != mark {
+				grid[r][col] = '+'
+			} else {
+				grid[r][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	for r := range grid {
+		yVal := maxV * float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&b, "%10.0f |%s\n", yVal, grid[r])
+	}
+	b.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", width) + "\n")
+	b.WriteString(strings.Repeat(" ", 11) + " ")
+	for _, xl := range xLabels {
+		fmt.Fprintf(&b, "%*s", colWidth, center(xl, colWidth))
+	}
+	b.WriteString("\n")
+	for si, s := range series {
+		fmt.Fprintf(&b, "%12c = %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func center(s string, w int) string {
+	if len(s) >= w {
+		return s[:w]
+	}
+	left := (w - len(s)) / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", w-len(s)-left)
+}
+
+// CSV writes the series as comma-separated values: a header row of x labels
+// preceded by "series", then one row per series.
+func CSV(w io.Writer, xLabels []string, series []Series) error {
+	if _, err := fmt.Fprintf(w, "series,%s\n", strings.Join(xLabels, ",")); err != nil {
+		return err
+	}
+	for _, s := range series {
+		cells := make([]string, 0, len(s.Values)+1)
+		cells = append(cells, escapeCSV(s.Name))
+		for _, v := range s.Values {
+			cells = append(cells, formatFloat(v))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func escapeCSV(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Table writes an aligned text table.
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if _, err := fmt.Fprintln(tw, strings.Join(headers, "\t")); err != nil {
+		return err
+	}
+	rule := make([]string, len(headers))
+	for i, h := range headers {
+		rule[i] = strings.Repeat("-", len(h))
+	}
+	if _, err := fmt.Fprintln(tw, strings.Join(rule, "\t")); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(tw, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}

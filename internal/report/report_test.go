@@ -1,0 +1,219 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"datastaging/internal/core"
+	"datastaging/internal/experiment"
+	"datastaging/internal/gen"
+	"datastaging/internal/model"
+)
+
+func TestChartRendersSeries(t *testing.T) {
+	out := Chart("demo", []string{"a", "b", "c"},
+		[]Series{
+			{Name: "one", Values: []float64{0, 50, 100}},
+			{Name: "two", Values: []float64{100, 50, 0}},
+		}, 5)
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "A = one") || !strings.Contains(out, "B = two") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	// The middle point collides: both series at 50.
+	if !strings.Contains(out, "+") {
+		t.Errorf("expected collision marker:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "c") {
+		t.Errorf("missing x labels:\n%s", out)
+	}
+}
+
+func TestChartManySeriesWrapsMarkers(t *testing.T) {
+	series := make([]Series, 30)
+	for i := range series {
+		series[i] = Series{Name: "s", Values: []float64{float64(i)}}
+	}
+	out := Chart("many", []string{"x"}, series, 8)
+	// Marker letters wrap modulo 26: series 26 reuses 'A'.
+	if !strings.Contains(out, "A = s") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines < 30 {
+		t.Errorf("expected 30 legend lines plus the grid, got %d lines total", lines)
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	if out := Chart("empty", nil, nil, 10); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart: %q", out)
+	}
+	out := Chart("zeros", []string{"x"}, []Series{{Name: "z", Values: []float64{0}}}, 1)
+	if out == "" {
+		t.Error("zero-value chart should render")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := CSV(&buf, []string{"-inf", "0", "inf"}, []Series{
+		{Name: "plain", Values: []float64{1, 2.5, 3}},
+		{Name: `with,comma "q"`, Values: []float64{4, 5, 6}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "series,-inf,0,inf\nplain,1,2.5,3\n\"with,comma \"\"q\"\"\",4,5,6\n"
+	if got != want {
+		t.Errorf("CSV:\ngot  %q\nwant %q", got, want)
+	}
+}
+
+func TestTable(t *testing.T) {
+	var buf bytes.Buffer
+	err := Table(&buf, []string{"name", "value"}, [][]string{{"x", "1"}, {"longer-name", "2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines: got %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Errorf("missing rule: %q", lines[1])
+	}
+}
+
+func studyFixture(t *testing.T) *experiment.Result {
+	t.Helper()
+	p := gen.Default()
+	p.Machines = gen.IntRange{Min: 5, Max: 5}
+	p.RequestsPerMachine = gen.IntRange{Min: 4, Max: 4}
+	res, err := experiment.Run(experiment.Options{
+		Params:   p,
+		NumCases: 2,
+		BaseSeed: 1,
+		Weights:  model.Weights1x10x100,
+		Sweep: []SweepPointAlias{
+			{Label: "-inf", EU: core.EUUrgencyOnly},
+			{Label: "0", EU: core.EUFromLog10(0)},
+			{Label: "inf", EU: core.EUPriorityOnly},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// SweepPointAlias keeps the fixture terse.
+type SweepPointAlias = experiment.SweepPoint
+
+func TestFigureAssemblers(t *testing.T) {
+	res := studyFixture(t)
+
+	labels, series := Figure2(res)
+	if len(labels) != 3 {
+		t.Fatalf("Figure2 labels: %v", labels)
+	}
+	if len(series) != 7 { // 2 upper + 3 heuristics + 2 lower
+		t.Fatalf("Figure2 series: got %d, want 7", len(series))
+	}
+	for _, s := range series {
+		if len(s.Values) != 3 {
+			t.Errorf("series %q: %d values", s.Name, len(s.Values))
+		}
+	}
+	// Upper bound dominates everything at every point.
+	for _, s := range series[1:] {
+		for i, v := range s.Values {
+			if v > series[0].Values[i]+1e-9 {
+				t.Errorf("series %q exceeds upper bound at %d", s.Name, i)
+			}
+		}
+	}
+
+	_, s3 := FigureCriteria(res, core.PartialPath)
+	if len(s3) != 4 {
+		t.Errorf("Figure3 series: got %d, want 4 (C1..C4)", len(s3))
+	}
+	_, s5 := FigureCriteria(res, core.FullPathAllDests)
+	if len(s5) != 3 {
+		t.Errorf("Figure5 series: got %d, want 3 (no C1)", len(s5))
+	}
+
+	h, rows := BoundsRows(res)
+	if len(h) != 4 || len(rows) != 5 {
+		t.Errorf("BoundsRows: %d headers, %d rows", len(h), len(rows))
+	}
+	h, rows = ExtrasRows(res)
+	if len(rows) != 11 {
+		t.Errorf("ExtrasRows: got %d rows, want 11", len(rows))
+	}
+	if len(h) != 8 {
+		t.Errorf("ExtrasRows headers: %v", h)
+	}
+	h, rows = PriorityFirstRows(res)
+	if len(rows) != 12 { // baseline + 11 pairs
+		t.Errorf("PriorityFirstRows: got %d rows", len(rows))
+	}
+	_ = h
+}
+
+func TestWeightingRows(t *testing.T) {
+	res := studyFixture(t)
+	headers, rows, err := WeightingRows("1/10/100", res, "1/5/10", res, core.FullPathOneDest, core.C4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(headers) != 3 || len(rows) != 3 {
+		t.Errorf("WeightingRows: %d headers, %d rows", len(headers), len(rows))
+	}
+	if rows[0][0] != "high" || rows[2][0] != "low" {
+		t.Errorf("priority order: %v", rows)
+	}
+	if _, _, err := WeightingRows("a", res, "b", res, core.FullPathAllDests, core.C1); err == nil {
+		t.Error("missing pair should error")
+	}
+}
+
+func TestGammaAndFailureRows(t *testing.T) {
+	gh, grows := GammaRows([]experiment.GammaPoint{
+		{Gamma: 0, Value: experiment.Stat{Mean: 10, Min: 5, Max: 15}, MeanSatisfied: 3},
+		{Gamma: 6 * 60e9, Value: experiment.Stat{Mean: 9}, MeanSatisfied: 2.5},
+	})
+	if len(gh) != 5 || len(grows) != 2 {
+		t.Errorf("GammaRows: %d headers %d rows", len(gh), len(grows))
+	}
+	if grows[1][0] != "6m0s" {
+		t.Errorf("gamma label: %q", grows[1][0])
+	}
+	fh, frows := FailureRows([]experiment.FailurePoint{
+		{FailedLinks: 5, StaticValue: experiment.Stat{Mean: 10}, DynamicValue: experiment.Stat{Mean: 9},
+			RetainedFraction: 0.9, MeanAborted: 1.5, MeanReplans: 6},
+	})
+	if len(fh) != 6 || len(frows) != 1 {
+		t.Errorf("FailureRows: %d headers %d rows", len(fh), len(frows))
+	}
+	if frows[0][3] != "0.900" {
+		t.Errorf("retained cell: %q", frows[0][3])
+	}
+}
+
+func TestCongestionRows(t *testing.T) {
+	cr := &experiment.CongestionResult{
+		Points: []experiment.CongestionPoint{
+			{RequestsPerMachine: 10, SatisfiedFraction: 0.9},
+			{RequestsPerMachine: 40, SatisfiedFraction: 0.5},
+		},
+	}
+	h, rows := CongestionRows(cr)
+	if len(h) != 5 || len(rows) != 2 {
+		t.Errorf("CongestionRows: %d headers, %d rows", len(h), len(rows))
+	}
+}

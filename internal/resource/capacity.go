@@ -1,0 +1,176 @@
+// Package resource provides the two consumable-resource timelines of the
+// data staging model: per-machine storage capacity (a piecewise-constant
+// profile of available bytes over simulated time) and per-virtual-link
+// transmission timelines (a serial resource available inside one window).
+//
+// Both are pure bookkeeping structures: the scheduling heuristics query them
+// for feasibility ("can machine r hold |d| bytes from arrival until garbage
+// collection?", "when is the earliest slot on this link?") and commit
+// reservations as communication steps are chosen.
+package resource
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"datastaging/internal/simtime"
+)
+
+// ErrInsufficient is returned by Capacity.Reserve when the requested amount
+// is not available over the whole requested interval.
+var ErrInsufficient = errors.New("resource: insufficient capacity over interval")
+
+// Capacity tracks the available storage of one machine as a piecewise-
+// constant function of time, Cap[i](t) in the paper's notation. A
+// reservation of b bytes over [start, end) decrements the available amount
+// on that interval; the end instant is how the model expresses garbage
+// collection (intermediate copies are reserved until γ after the item's
+// latest deadline, copies at sources and destinations until
+// simtime.Forever).
+type Capacity struct {
+	// segs are sorted by start; segs[k] is in effect on
+	// [segs[k].start, segs[k+1].start), and the last segment extends to
+	// the end of time. There is always at least one segment.
+	segs []capSegment
+}
+
+type capSegment struct {
+	start simtime.Instant
+	avail int64
+}
+
+// NewCapacity returns a profile with total bytes available at all times.
+func NewCapacity(total int64) *Capacity {
+	return &Capacity{segs: []capSegment{{start: simtime.Instant(math.MinInt64), avail: total}}}
+}
+
+// MinAvailable returns the minimum available bytes over the interval iv.
+// An empty interval yields the availability at iv.Start.
+func (c *Capacity) MinAvailable(iv simtime.Interval) int64 {
+	if iv.End < iv.Start {
+		iv.End = iv.Start
+	}
+	i := c.segIndex(iv.Start)
+	minAvail := c.segs[i].avail
+	for i++; i < len(c.segs) && c.segs[i].start < iv.End; i++ {
+		if c.segs[i].avail < minAvail {
+			minAvail = c.segs[i].avail
+		}
+	}
+	return minAvail
+}
+
+// AvailableAt returns the available bytes at instant t.
+func (c *Capacity) AvailableAt(t simtime.Instant) int64 {
+	return c.segs[c.segIndex(t)].avail
+}
+
+// CanReserve reports whether amount bytes are available over all of iv.
+func (c *Capacity) CanReserve(amount int64, iv simtime.Interval) bool {
+	return c.MinAvailable(iv) >= amount
+}
+
+// Reserve decrements the available capacity by amount over iv. It fails
+// with ErrInsufficient (leaving the profile unchanged) if the amount is not
+// available over the whole interval. Reserving over an empty interval is a
+// no-op. A negative amount is rejected.
+func (c *Capacity) Reserve(amount int64, iv simtime.Interval) error {
+	if amount < 0 {
+		return fmt.Errorf("resource: negative reservation %d", amount)
+	}
+	if iv.IsEmpty() || amount == 0 {
+		return nil
+	}
+	if !c.CanReserve(amount, iv) {
+		return ErrInsufficient
+	}
+	c.adjust(-amount, iv)
+	return nil
+}
+
+// Release returns amount bytes to the profile over iv. It is the inverse of
+// Reserve and is used by what-if rollbacks in tests; the scheduler itself
+// encodes garbage collection in reservation end instants instead.
+func (c *Capacity) Release(amount int64, iv simtime.Interval) {
+	if iv.IsEmpty() || amount <= 0 {
+		return
+	}
+	c.adjust(amount, iv)
+}
+
+// adjust adds delta to the available amount over iv, splitting segments at
+// the interval boundaries as needed.
+func (c *Capacity) adjust(delta int64, iv simtime.Interval) {
+	c.splitAt(iv.Start)
+	if iv.End != simtime.Forever {
+		c.splitAt(iv.End)
+	}
+	for k := range c.segs {
+		if c.segs[k].start >= iv.Start && (iv.End == simtime.Forever || c.segs[k].start < iv.End) {
+			c.segs[k].avail += delta
+		}
+	}
+	c.coalesce()
+}
+
+// splitAt ensures a segment boundary exists exactly at t.
+func (c *Capacity) splitAt(t simtime.Instant) {
+	i := c.segIndex(t)
+	if c.segs[i].start == t {
+		return
+	}
+	c.segs = append(c.segs, capSegment{})
+	copy(c.segs[i+2:], c.segs[i+1:])
+	c.segs[i+1] = capSegment{start: t, avail: c.segs[i].avail}
+}
+
+// coalesce merges adjacent segments with equal availability.
+func (c *Capacity) coalesce() {
+	out := c.segs[:1]
+	for _, s := range c.segs[1:] {
+		if s.avail == out[len(out)-1].avail {
+			continue
+		}
+		out = append(out, s)
+	}
+	c.segs = out
+}
+
+// segIndex returns the index of the segment in effect at t.
+func (c *Capacity) segIndex(t simtime.Instant) int {
+	lo, hi := 0, len(c.segs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.segs[mid].start <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// Clone returns a deep copy of the profile.
+func (c *Capacity) Clone() *Capacity {
+	segs := make([]capSegment, len(c.segs))
+	copy(segs, c.segs)
+	return &Capacity{segs: segs}
+}
+
+// Segments returns the number of internal segments (exported for tests and
+// diagnostics; a healthy profile stays small because reservations share
+// garbage-collection boundaries).
+func (c *Capacity) Segments() int { return len(c.segs) }
+
+// String renders the profile for diagnostics.
+func (c *Capacity) String() string {
+	out := ""
+	for i, s := range c.segs {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("[%v→%d]", s.start, s.avail)
+	}
+	return out
+}

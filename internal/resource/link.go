@@ -1,0 +1,91 @@
+package resource
+
+import (
+	"fmt"
+	"time"
+
+	"datastaging/internal/simtime"
+)
+
+// LinkTimeline tracks the occupancy of one virtual communication link: a
+// serial transmission resource that exists only inside its availability
+// window [Lst, Let) (paper §3). A transfer occupies the link exclusively for
+// its whole duration, and a transfer must fit entirely inside the window —
+// transfers are never split across virtual links.
+type LinkTimeline struct {
+	window simtime.Interval
+	free   simtime.Set
+}
+
+// NewLinkTimeline returns an idle timeline for a link available over window.
+func NewLinkTimeline(window simtime.Interval) *LinkTimeline {
+	return &LinkTimeline{window: window, free: simtime.NewSet(window)}
+}
+
+// Window returns the link's availability window.
+func (l *LinkTimeline) Window() simtime.Interval { return l.window }
+
+// Free exposes the link's free-time set for read-only composition (e.g.
+// intersecting link, send-port, and receive-port availability). Callers
+// must not mutate it.
+func (l *LinkTimeline) Free() *simtime.Set { return &l.free }
+
+// EarliestSlot returns the earliest instant t >= ready at which a transfer
+// of duration d can start so that [t, t+d) is free link time inside the
+// window. ok is false when no such slot exists.
+func (l *LinkTimeline) EarliestSlot(ready simtime.Instant, d time.Duration) (start simtime.Instant, ok bool) {
+	if d <= 0 {
+		// A zero-length transfer still has to happen while the link exists.
+		return l.free.EarliestFit(ready, 0)
+	}
+	return l.free.EarliestFit(ready, d)
+}
+
+// CanCommit reports whether [start, start+d) is currently free link time.
+func (l *LinkTimeline) CanCommit(start simtime.Instant, d time.Duration) bool {
+	if d < 0 {
+		return false
+	}
+	if d == 0 {
+		return l.free.Contains(start)
+	}
+	return l.free.ContainsInterval(simtime.Span(start, d))
+}
+
+// Commit reserves [start, start+d) on the link. It fails, leaving the
+// timeline unchanged, if that span is not entirely free.
+func (l *LinkTimeline) Commit(start simtime.Instant, d time.Duration) error {
+	if !l.CanCommit(start, d) {
+		return fmt.Errorf("resource: link slot %v+%v not free (window %v)", start, d, l.window)
+	}
+	l.free.Subtract(simtime.Span(start, d))
+	return nil
+}
+
+// Block removes iv from the link's free time without a transfer: an
+// administrative outage. Free time already consumed by commits is
+// unaffected (it is already gone).
+func (l *LinkTimeline) Block(iv simtime.Interval) {
+	l.free.Subtract(iv)
+}
+
+// BusyTime returns the total committed transmission time on the link.
+func (l *LinkTimeline) BusyTime() time.Duration {
+	return l.window.Length() - l.free.Total()
+}
+
+// FreeWithin reports whether any free instant remains at or after ready.
+func (l *LinkTimeline) FreeWithin(ready simtime.Instant) bool {
+	_, ok := l.free.EarliestFit(ready, 0)
+	return ok
+}
+
+// Clone returns a deep copy of the timeline.
+func (l *LinkTimeline) Clone() *LinkTimeline {
+	return &LinkTimeline{window: l.window, free: l.free.Clone()}
+}
+
+// String renders the timeline for diagnostics.
+func (l *LinkTimeline) String() string {
+	return fmt.Sprintf("link window=%v free=%v", l.window, l.free.String())
+}

@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode checks that arbitrary bytes never panic the decoder and that
+// anything it accepts round-trips to an equivalent accepted scenario.
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid encoding and a few mutations.
+	valid := `{
+	  "network": {
+	    "machines": [
+	      {"id": 0, "capacityBytes": 1000},
+	      {"id": 1, "capacityBytes": 1000}
+	    ],
+	    "links": [
+	      {"id": 0, "from": 0, "to": 1, "window": {"start": 0, "end": 1000000000}, "bandwidthBPS": 8000},
+	      {"id": 1, "from": 1, "to": 0, "window": {"start": 0, "end": 1000000000}, "bandwidthBPS": 8000}
+	    ]
+	  },
+	  "items": [
+	    {"id": 0, "sizeBytes": 10, "sources": [{"machine": 0, "available": 0}],
+	     "requests": [{"machine": 1, "deadline": 900000000, "priority": 2}]}
+	  ],
+	  "garbageCollect": 360000000000,
+	  "horizon": 86400000000000
+	}`
+	f.Add(valid)
+	f.Add(`{}`)
+	f.Add(`{"network": null}`)
+	f.Add(strings.ReplaceAll(valid, `"id": 0`, `"id": -1`))
+	f.Add(strings.ReplaceAll(valid, `"sizeBytes": 10`, `"sizeBytes": -10`))
+	f.Add(strings.ReplaceAll(valid, `"bandwidthBPS": 8000`, `"bandwidthBPS": 0`))
+	f.Add(`[1,2,3]`)
+	f.Add(`not json at all`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		sc, err := Decode(strings.NewReader(data))
+		if err != nil {
+			return // rejected is always fine; panics are the bug
+		}
+		// Whatever was accepted must re-validate and re-encode.
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("accepted scenario fails Validate: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := sc.Encode(&buf); err != nil {
+			t.Fatalf("accepted scenario fails Encode: %v", err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.NumRequests() != sc.NumRequests() || len(back.Items) != len(sc.Items) {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				back.NumRequests(), len(back.Items), sc.NumRequests(), len(sc.Items))
+		}
+		// Stats must never panic on accepted scenarios.
+		_ = sc.Stats()
+	})
+}

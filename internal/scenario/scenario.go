@@ -1,0 +1,249 @@
+// Package scenario bundles a complete instance of the basic data staging
+// problem — the network, every requested data item, and the global
+// scheduling parameters — together with JSON serialization so instances can
+// be generated once and replayed across schedulers.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"datastaging/internal/model"
+	"datastaging/internal/simtime"
+)
+
+// Scenario is one instance of the basic data staging problem (paper §3).
+type Scenario struct {
+	// Name labels the instance in reports (e.g. "badd-seed42").
+	Name string `json:"name,omitempty"`
+	// Network is the communication system: machines and virtual links.
+	Network *model.Network `json:"network"`
+	// Items are the requested data items with their sources and requests.
+	Items []model.Item `json:"items"`
+	// GarbageCollect is γ: how long after an item's latest deadline
+	// intermediate copies are removed (§4.4). The paper's evaluation uses
+	// six minutes.
+	GarbageCollect time.Duration `json:"garbageCollect"`
+	// Horizon is the end of the simulated period (the paper's link windows
+	// span a 24 h day). Informational; copies at sources and destinations
+	// are modeled as held forever.
+	Horizon simtime.Instant `json:"horizon"`
+	// SerialTransfers, when true, relaxes the paper's §3 simultaneity
+	// assumption: each machine can send at most one item at a time and
+	// receive at most one at a time, so a transfer occupies the sender's
+	// send port and the receiver's receive port for its whole duration in
+	// addition to the link. The paper's model (and evaluation) has this
+	// off; it is this library's implementation of the §3 future work.
+	SerialTransfers bool `json:"serialTransfers,omitempty"`
+}
+
+// Validate checks the whole instance: a valid network plus item invariants —
+// positional IDs, positive sizes, at least one source and one request each,
+// machines in range, a destination is never also a source of the same item
+// (§5.3), at most one request per machine per item (§3), non-negative
+// priorities, and deadlines after the epoch.
+func (s *Scenario) Validate() error {
+	if s.Network == nil {
+		return fmt.Errorf("scenario: nil network")
+	}
+	if err := s.Network.Validate(); err != nil {
+		return err
+	}
+	m := s.Network.NumMachines()
+	for i := range s.Items {
+		if err := s.validateItem(i, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Scenario) validateItem(i, numMachines int) error {
+	it := &s.Items[i]
+	if int(it.ID) != i {
+		return fmt.Errorf("scenario: item at index %d has ID %d", i, it.ID)
+	}
+	if it.SizeBytes <= 0 {
+		return fmt.Errorf("scenario: item %d has non-positive size %d", i, it.SizeBytes)
+	}
+	if len(it.Sources) == 0 {
+		return fmt.Errorf("scenario: item %d has no sources", i)
+	}
+	if len(it.Requests) == 0 {
+		return fmt.Errorf("scenario: item %d has no requests", i)
+	}
+	sourceMachines := make(map[model.MachineID]bool, len(it.Sources))
+	for _, src := range it.Sources {
+		if int(src.Machine) < 0 || int(src.Machine) >= numMachines {
+			return fmt.Errorf("scenario: item %d source machine %d out of range", i, src.Machine)
+		}
+		if sourceMachines[src.Machine] {
+			return fmt.Errorf("scenario: item %d has duplicate source machine %d", i, src.Machine)
+		}
+		sourceMachines[src.Machine] = true
+	}
+	destMachines := make(map[model.MachineID]bool, len(it.Requests))
+	for k, rq := range it.Requests {
+		if int(rq.Machine) < 0 || int(rq.Machine) >= numMachines {
+			return fmt.Errorf("scenario: item %d request %d machine out of range", i, k)
+		}
+		if sourceMachines[rq.Machine] {
+			return fmt.Errorf("scenario: item %d request %d destination %d is also a source", i, k, rq.Machine)
+		}
+		if destMachines[rq.Machine] {
+			return fmt.Errorf("scenario: item %d has two requests from machine %d", i, rq.Machine)
+		}
+		destMachines[rq.Machine] = true
+		if rq.Priority < 0 {
+			return fmt.Errorf("scenario: item %d request %d has negative priority", i, k)
+		}
+		if rq.Deadline <= 0 {
+			return fmt.Errorf("scenario: item %d request %d deadline %v not after epoch", i, k, rq.Deadline)
+		}
+	}
+	return nil
+}
+
+// NumRequests returns the total number of data requests across all items.
+func (s *Scenario) NumRequests() int {
+	total := 0
+	for i := range s.Items {
+		total += len(s.Items[i].Requests)
+	}
+	return total
+}
+
+// TotalWeight returns the sum of W[priority] over every request: the
+// paper's loose upper bound (everything satisfied).
+func (s *Scenario) TotalWeight(w model.Weights) float64 {
+	var sum float64
+	for i := range s.Items {
+		for _, rq := range s.Items[i].Requests {
+			sum += w.Of(rq.Priority)
+		}
+	}
+	return sum
+}
+
+// Requests enumerates every RequestID in the scenario in (item, index)
+// order.
+func (s *Scenario) Requests() []model.RequestID {
+	out := make([]model.RequestID, 0, s.NumRequests())
+	for i := range s.Items {
+		for k := range s.Items[i].Requests {
+			out = append(out, model.RequestID{Item: model.ItemID(i), Index: k})
+		}
+	}
+	return out
+}
+
+// Request resolves a RequestID to the underlying request.
+func (s *Scenario) Request(id model.RequestID) *model.Request {
+	return &s.Items[id.Item].Requests[id.Index]
+}
+
+// Item returns the item with the given ID.
+func (s *Scenario) Item(id model.ItemID) *model.Item { return &s.Items[id] }
+
+// GCInstant returns the garbage-collection instant for item it: γ after its
+// latest deadline. Copies at intermediate machines are reserved until this
+// instant.
+func (s *Scenario) GCInstant(it *model.Item) simtime.Instant {
+	return it.LatestDeadline().Add(s.GarbageCollect)
+}
+
+// Stats summarizes an instance for reports and tooling.
+type Stats struct {
+	Machines      int `json:"machines"`
+	PhysicalLinks int `json:"physicalLinks"`
+	VirtualLinks  int `json:"virtualLinks"`
+	Items         int `json:"items"`
+	Requests      int `json:"requests"`
+	// RequestsByPriority counts requests per priority class, indexed by
+	// priority.
+	RequestsByPriority []int `json:"requestsByPriority"`
+	// TotalItemBytes, MinItemBytes, and MaxItemBytes describe item sizes.
+	TotalItemBytes int64 `json:"totalItemBytes"`
+	MinItemBytes   int64 `json:"minItemBytes"`
+	MaxItemBytes   int64 `json:"maxItemBytes"`
+	// TotalCapacityBytes sums machine storage.
+	TotalCapacityBytes int64 `json:"totalCapacityBytes"`
+	// EarliestDeadline and LatestDeadline bound the active period.
+	EarliestDeadline simtime.Instant `json:"earliestDeadline"`
+	LatestDeadline   simtime.Instant `json:"latestDeadline"`
+}
+
+// Stats computes summary statistics of the instance.
+func (s *Scenario) Stats() Stats {
+	st := Stats{
+		Machines: s.Network.NumMachines(),
+		Items:    len(s.Items),
+	}
+	phys := make(map[int]bool)
+	for _, l := range s.Network.Links {
+		st.VirtualLinks++
+		phys[l.Physical] = true
+	}
+	st.PhysicalLinks = len(phys)
+	for _, m := range s.Network.Machines {
+		st.TotalCapacityBytes += m.CapacityBytes
+	}
+	st.EarliestDeadline = simtime.Never
+	maxPri := 0
+	for i := range s.Items {
+		it := &s.Items[i]
+		st.TotalItemBytes += it.SizeBytes
+		if st.MinItemBytes == 0 || it.SizeBytes < st.MinItemBytes {
+			st.MinItemBytes = it.SizeBytes
+		}
+		if it.SizeBytes > st.MaxItemBytes {
+			st.MaxItemBytes = it.SizeBytes
+		}
+		for _, rq := range it.Requests {
+			st.Requests++
+			if int(rq.Priority) > maxPri {
+				maxPri = int(rq.Priority)
+			}
+			if rq.Deadline.Before(st.EarliestDeadline) {
+				st.EarliestDeadline = rq.Deadline
+			}
+			if rq.Deadline.After(st.LatestDeadline) {
+				st.LatestDeadline = rq.Deadline
+			}
+		}
+	}
+	st.RequestsByPriority = make([]int, maxPri+1)
+	for i := range s.Items {
+		for _, rq := range s.Items[i].Requests {
+			st.RequestsByPriority[rq.Priority]++
+		}
+	}
+	if st.Requests == 0 {
+		st.EarliestDeadline = 0
+	}
+	return st
+}
+
+// Encode writes the scenario as indented JSON.
+func (s *Scenario) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("scenario: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a scenario from JSON and validates it.
+func Decode(r io.Reader) (*Scenario, error) {
+	var s Scenario
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: decode: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

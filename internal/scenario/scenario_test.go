@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"datastaging/internal/model"
+	"datastaging/internal/simtime"
+)
+
+func validScenario(t *testing.T) *Scenario {
+	t.Helper()
+	machines := []model.Machine{
+		{ID: 0, CapacityBytes: 1 << 20},
+		{ID: 1, CapacityBytes: 1 << 20},
+		{ID: 2, CapacityBytes: 1 << 20},
+	}
+	w := simtime.Interval{Start: 0, End: simtime.At(2 * time.Hour)}
+	links := []model.VirtualLink{
+		{ID: 0, From: 0, To: 1, Window: w, BandwidthBPS: 1 << 20, Physical: 0},
+		{ID: 1, From: 1, To: 2, Window: w, BandwidthBPS: 1 << 20, Physical: 1},
+		{ID: 2, From: 2, To: 0, Window: w, BandwidthBPS: 1 << 20, Physical: 2},
+	}
+	net, err := model.NewNetwork(machines, links)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	return &Scenario{
+		Name:    "unit",
+		Network: net,
+		Items: []model.Item{
+			{
+				ID:        0,
+				Name:      "map-a",
+				SizeBytes: 1024,
+				Sources:   []model.Source{{Machine: 0, Available: simtime.At(time.Minute)}},
+				Requests: []model.Request{
+					{Machine: 1, Deadline: simtime.At(30 * time.Minute), Priority: model.High},
+					{Machine: 2, Deadline: simtime.At(45 * time.Minute), Priority: model.Low},
+				},
+			},
+			{
+				ID:        1,
+				Name:      "map-b",
+				SizeBytes: 2048,
+				Sources:   []model.Source{{Machine: 1, Available: 0}},
+				Requests: []model.Request{
+					{Machine: 0, Deadline: simtime.At(20 * time.Minute), Priority: model.Medium},
+				},
+			},
+		},
+		GarbageCollect: 6 * time.Minute,
+		Horizon:        simtime.At(24 * time.Hour),
+	}
+}
+
+func TestValidScenarioValidates(t *testing.T) {
+	s := validScenario(t)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := s.NumRequests(); got != 3 {
+		t.Errorf("NumRequests: got %d, want 3", got)
+	}
+	if got := s.TotalWeight(model.Weights1x10x100); got != 100+1+10 {
+		t.Errorf("TotalWeight: got %v, want 111", got)
+	}
+	ids := s.Requests()
+	if len(ids) != 3 || ids[0] != (model.RequestID{Item: 0, Index: 0}) || ids[2] != (model.RequestID{Item: 1, Index: 0}) {
+		t.Errorf("Requests: got %v", ids)
+	}
+	if got := s.Request(ids[1]).Priority; got != model.Low {
+		t.Errorf("Request resolve: got %v", got)
+	}
+	if got := s.Item(1).SizeBytes; got != 2048 {
+		t.Errorf("Item resolve: got %d", got)
+	}
+	wantGC := simtime.At(45*time.Minute + 6*time.Minute)
+	if got := s.GCInstant(s.Item(0)); got != wantGC {
+		t.Errorf("GCInstant: got %v, want %v", got, wantGC)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(s *Scenario)
+		substr string
+	}{
+		{"nil network", func(s *Scenario) { s.Network = nil }, "nil network"},
+		{"bad item id", func(s *Scenario) { s.Items[1].ID = 7 }, "has ID"},
+		{"zero size", func(s *Scenario) { s.Items[0].SizeBytes = 0 }, "non-positive size"},
+		{"no sources", func(s *Scenario) { s.Items[0].Sources = nil }, "no sources"},
+		{"no requests", func(s *Scenario) { s.Items[0].Requests = nil }, "no requests"},
+		{"source out of range", func(s *Scenario) { s.Items[0].Sources[0].Machine = 9 }, "out of range"},
+		{"dup source", func(s *Scenario) {
+			s.Items[0].Sources = append(s.Items[0].Sources, s.Items[0].Sources[0])
+		}, "duplicate source"},
+		{"request out of range", func(s *Scenario) { s.Items[0].Requests[0].Machine = -1 }, "out of range"},
+		{"dest is source", func(s *Scenario) { s.Items[0].Requests[0].Machine = 0 }, "also a source"},
+		{"dup dest", func(s *Scenario) { s.Items[0].Requests[1].Machine = 1 }, "two requests"},
+		{"negative priority", func(s *Scenario) { s.Items[0].Requests[0].Priority = -1 }, "negative priority"},
+		{"deadline at epoch", func(s *Scenario) { s.Items[0].Requests[0].Deadline = 0 }, "not after epoch"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validScenario(t)
+			tc.mutate(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("Validate should have failed")
+			}
+			if !strings.Contains(err.Error(), tc.substr) {
+				t.Errorf("error %q does not contain %q", err, tc.substr)
+			}
+		})
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := validScenario(t)
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Name != s.Name || got.GarbageCollect != s.GarbageCollect || got.Horizon != s.Horizon {
+		t.Errorf("scalar fields differ: got %+v", got)
+	}
+	if got.Network.NumMachines() != 3 || len(got.Network.Links) != 3 {
+		t.Errorf("network differs: %d machines, %d links",
+			got.Network.NumMachines(), len(got.Network.Links))
+	}
+	if len(got.Items) != 2 || got.Items[0].Requests[0].Deadline != s.Items[0].Requests[0].Deadline {
+		t.Errorf("items differ: %+v", got.Items)
+	}
+	// Adjacency must be rebuilt lazily after decode.
+	if out := got.Network.Outgoing(0); len(out) != 1 {
+		t.Errorf("Outgoing after decode: got %v", out)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := validScenario(t)
+	st := s.Stats()
+	if st.Machines != 3 || st.VirtualLinks != 3 || st.Items != 2 || st.Requests != 3 {
+		t.Errorf("counts: %+v", st)
+	}
+	if st.PhysicalLinks != 3 {
+		t.Errorf("physical links: got %d", st.PhysicalLinks)
+	}
+	if st.TotalItemBytes != 1024+2048 || st.MinItemBytes != 1024 || st.MaxItemBytes != 2048 {
+		t.Errorf("sizes: %+v", st)
+	}
+	if st.TotalCapacityBytes != 3<<20 {
+		t.Errorf("capacity: got %d", st.TotalCapacityBytes)
+	}
+	if len(st.RequestsByPriority) != 3 || st.RequestsByPriority[model.High] != 1 ||
+		st.RequestsByPriority[model.Low] != 1 || st.RequestsByPriority[model.Medium] != 1 {
+		t.Errorf("by priority: %v", st.RequestsByPriority)
+	}
+	if st.EarliestDeadline != simtime.At(20*time.Minute) || st.LatestDeadline != simtime.At(45*time.Minute) {
+		t.Errorf("deadline span: %v..%v", st.EarliestDeadline, st.LatestDeadline)
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"network":null}`)); err == nil {
+		t.Error("Decode of invalid scenario should fail")
+	}
+	if _, err := Decode(strings.NewReader(`not json`)); err == nil {
+		t.Error("Decode of malformed JSON should fail")
+	}
+}

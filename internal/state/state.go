@@ -1,0 +1,376 @@
+// Package state holds the mutable resource picture the scheduling
+// heuristics work against: per-virtual-link occupancy, per-machine capacity
+// profiles, the set of machines currently holding a copy of each item, and
+// the transfers committed so far. The heuristics in internal/core decide
+// *what* to transfer; this package enforces *whether it fits* and keeps the
+// books.
+package state
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"datastaging/internal/model"
+	"datastaging/internal/resource"
+	"datastaging/internal/scenario"
+	"datastaging/internal/simtime"
+)
+
+// Holder records one copy of an item: the machine that has it, when it
+// becomes available there, and when the copy disappears (simtime.Forever for
+// initial sources and final destinations, the item's garbage-collection
+// instant for intermediates — paper §4.4, §5.3).
+type Holder struct {
+	Machine model.MachineID
+	Avail   simtime.Instant
+	End     simtime.Instant
+}
+
+// Transfer is one committed communication step: item moved across one
+// virtual link.
+type Transfer struct {
+	Item     model.ItemID
+	Link     model.LinkID
+	From     model.MachineID
+	To       model.MachineID
+	Start    simtime.Instant
+	Duration time.Duration
+	Arrival  simtime.Instant
+}
+
+// State is the live resource bookkeeping for one scheduling run.
+type State struct {
+	sc    *scenario.Scenario
+	links []*resource.LinkTimeline
+	caps  []*resource.Capacity
+
+	// sendPort and recvPort serialize per-machine transfers when the
+	// scenario enables SerialTransfers (§3 future work); nil otherwise.
+	sendPort []*resource.LinkTimeline
+	recvPort []*resource.LinkTimeline
+
+	// holders[i] lists the copies of item i sorted by machine; holderIdx
+	// provides O(1) membership.
+	holders   [][]Holder
+	holderIdx []map[model.MachineID]int
+
+	// destOf[i] is the set of requesting machines of item i, which hold
+	// delivered copies forever.
+	destOf []map[model.MachineID]bool
+
+	transfers []Transfer
+	satisfied map[model.RequestID]simtime.Instant
+
+	// floor is the earliest instant new transfers may start; the dynamic
+	// simulator advances it to "now" so re-planning cannot rewrite the
+	// past. Zero (the epoch) for static scheduling.
+	floor simtime.Instant
+	// unreleased marks items the scheduler must not yet see (dynamic
+	// ad-hoc requests). nil for static scheduling, where every item is
+	// known at time zero.
+	unreleased map[model.ItemID]bool
+	// outages records virtual links forced down from an instant onward
+	// (dynamic link failures).
+	outages map[model.LinkID]simtime.Instant
+
+	// physOut[u] groups machine u's outgoing virtual links by physical
+	// link, each group sorted by window start; the shortest-path relaxation
+	// walks these groups with early exit.
+	physOut [][]PhysGroup
+}
+
+// PhysGroup is the virtual links of one physical link u→v, sorted by window
+// start. All virtual links of one physical link share bandwidth and latency
+// by construction, but the scheduler does not rely on that.
+type PhysGroup struct {
+	To    model.MachineID
+	Links []model.LinkID
+}
+
+// New builds the initial state for a scenario: idle links, full capacity,
+// and each item held by its initial sources.
+func New(sc *scenario.Scenario) *State {
+	st := &State{
+		sc:        sc,
+		links:     make([]*resource.LinkTimeline, len(sc.Network.Links)),
+		caps:      make([]*resource.Capacity, sc.Network.NumMachines()),
+		holders:   make([][]Holder, len(sc.Items)),
+		holderIdx: make([]map[model.MachineID]int, len(sc.Items)),
+		destOf:    make([]map[model.MachineID]bool, len(sc.Items)),
+		satisfied: make(map[model.RequestID]simtime.Instant),
+	}
+	for i, l := range sc.Network.Links {
+		st.links[i] = resource.NewLinkTimeline(l.Window)
+	}
+	for i, m := range sc.Network.Machines {
+		st.caps[i] = resource.NewCapacity(m.CapacityBytes)
+	}
+	if sc.SerialTransfers {
+		always := simtime.Interval{Start: 0, End: simtime.Forever}
+		st.sendPort = make([]*resource.LinkTimeline, sc.Network.NumMachines())
+		st.recvPort = make([]*resource.LinkTimeline, sc.Network.NumMachines())
+		for i := range st.sendPort {
+			st.sendPort[i] = resource.NewLinkTimeline(always)
+			st.recvPort[i] = resource.NewLinkTimeline(always)
+		}
+	}
+	for i := range sc.Items {
+		it := &sc.Items[i]
+		st.holderIdx[i] = make(map[model.MachineID]int, len(it.Sources))
+		st.destOf[i] = make(map[model.MachineID]bool, len(it.Requests))
+		for _, rq := range it.Requests {
+			st.destOf[i][rq.Machine] = true
+		}
+		for _, src := range it.Sources {
+			st.addHolder(model.ItemID(i), Holder{
+				Machine: src.Machine,
+				Avail:   src.Available,
+				End:     simtime.Forever,
+			})
+		}
+	}
+	st.buildPhysOut()
+	return st
+}
+
+func (st *State) buildPhysOut() {
+	net := st.sc.Network
+	st.physOut = make([][]PhysGroup, net.NumMachines())
+	for u := 0; u < net.NumMachines(); u++ {
+		byPhys := make(map[int][]model.LinkID)
+		var order []int
+		for _, id := range net.Outgoing(model.MachineID(u)) {
+			p := net.Link(id).Physical
+			if _, seen := byPhys[p]; !seen {
+				order = append(order, p)
+			}
+			byPhys[p] = append(byPhys[p], id)
+		}
+		sort.Ints(order)
+		groups := make([]PhysGroup, 0, len(order))
+		for _, p := range order {
+			ids := byPhys[p]
+			sort.Slice(ids, func(a, b int) bool {
+				return net.Link(ids[a]).Window.Start < net.Link(ids[b]).Window.Start
+			})
+			groups = append(groups, PhysGroup{To: net.Link(ids[0]).To, Links: ids})
+		}
+		st.physOut[u] = groups
+	}
+}
+
+// Scenario returns the immutable problem instance.
+func (st *State) Scenario() *scenario.Scenario { return st.sc }
+
+// LinkTimeline returns the occupancy timeline of one virtual link. Callers
+// must not commit to it directly; use Commit.
+func (st *State) LinkTimeline(id model.LinkID) *resource.LinkTimeline { return st.links[id] }
+
+// SerialTransfers reports whether per-machine port serialization is on.
+func (st *State) SerialTransfers() bool { return st.sendPort != nil }
+
+// EarliestTransferSlot returns the earliest instant t >= ready at which a
+// transfer of duration d can start on the link: free link time inside the
+// window, and — when the scenario serializes transfers — a free send port
+// at the sender and a free receive port at the receiver for the whole
+// duration.
+func (st *State) EarliestTransferSlot(id model.LinkID, ready simtime.Instant, d time.Duration) (simtime.Instant, bool) {
+	if st.sendPort == nil {
+		return st.links[id].EarliestSlot(ready, d)
+	}
+	l := st.sc.Network.Link(id)
+	free := st.links[id].Free().IntersectSet(st.sendPort[l.From].Free())
+	free = free.IntersectSet(st.recvPort[l.To].Free())
+	return free.EarliestFit(ready, d)
+}
+
+// Capacity returns the capacity profile of one machine. Callers must not
+// reserve on it directly; use Commit.
+func (st *State) Capacity(m model.MachineID) *resource.Capacity { return st.caps[m] }
+
+// PhysGroups returns machine u's outgoing virtual links grouped by physical
+// link, each group sorted by window start.
+func (st *State) PhysGroups(u model.MachineID) []PhysGroup { return st.physOut[u] }
+
+// Holders returns the copies of an item. The slice is shared; do not
+// mutate.
+func (st *State) Holders(item model.ItemID) []Holder { return st.holders[item] }
+
+// Holds reports whether machine m has (or is scheduled to receive) a copy
+// of the item.
+func (st *State) Holds(item model.ItemID, m model.MachineID) bool {
+	_, ok := st.holderIdx[item][m]
+	return ok
+}
+
+// Holder returns machine m's copy of the item.
+func (st *State) Holder(item model.ItemID, m model.MachineID) (Holder, bool) {
+	idx, ok := st.holderIdx[item][m]
+	if !ok {
+		return Holder{}, false
+	}
+	return st.holders[item][idx], true
+}
+
+// IsDestination reports whether m is a requesting machine of the item.
+func (st *State) IsDestination(item model.ItemID, m model.MachineID) bool {
+	return st.destOf[item][m]
+}
+
+// HoldEnd returns when a copy of the item delivered to machine m would be
+// removed: never for a final destination, γ after the item's latest
+// deadline for an intermediate (§4.4).
+func (st *State) HoldEnd(item model.ItemID, m model.MachineID) simtime.Instant {
+	if st.IsDestination(item, m) {
+		return simtime.Forever
+	}
+	return st.sc.GCInstant(st.sc.Item(item))
+}
+
+// HoldInterval returns the capacity reservation a copy of the item arriving
+// at machine m at the given instant requires.
+func (st *State) HoldInterval(item model.ItemID, m model.MachineID, arrival simtime.Instant) simtime.Interval {
+	return simtime.Interval{Start: arrival, End: st.HoldEnd(item, m)}
+}
+
+func (st *State) addHolder(item model.ItemID, h Holder) {
+	st.holderIdx[item][h.Machine] = len(st.holders[item])
+	st.holders[item] = append(st.holders[item], h)
+}
+
+// Commit schedules the transfer of an item over one virtual link starting
+// at the given instant. It verifies every model constraint — the sending
+// machine holds a copy covering the whole transfer, the link slot is free
+// inside the window, the receiving machine does not already hold the item
+// and can store it until its hold end — then books the link slot and the
+// capacity, records the receiving machine as a new holder, and marks any
+// request at that machine satisfied if the copy arrives by its deadline.
+func (st *State) Commit(item model.ItemID, link model.LinkID, start simtime.Instant) (Transfer, error) {
+	l := st.sc.Network.Link(link)
+	it := st.sc.Item(item)
+	d := l.TransferDuration(it.SizeBytes)
+	arrival := start.Add(d)
+
+	if start.Before(st.floor) {
+		return Transfer{}, fmt.Errorf("state: transfer start %v before planning floor %v", start, st.floor)
+	}
+	src, ok := st.Holder(item, l.From)
+	if !ok {
+		return Transfer{}, fmt.Errorf("state: machine %d does not hold item %d", l.From, item)
+	}
+	if start.Before(src.Avail) {
+		return Transfer{}, fmt.Errorf("state: transfer of item %d starts %v before copy at %d is available (%v)",
+			item, start, l.From, src.Avail)
+	}
+	if src.End != simtime.Forever && arrival.After(src.End) {
+		return Transfer{}, fmt.Errorf("state: transfer of item %d outlives copy at %d (ends %v)",
+			item, l.From, src.End)
+	}
+	if st.Holds(item, l.To) {
+		return Transfer{}, fmt.Errorf("state: machine %d already holds item %d", l.To, item)
+	}
+	hold := st.HoldInterval(item, l.To, arrival)
+	if !st.caps[l.To].CanReserve(it.SizeBytes, hold) {
+		return Transfer{}, fmt.Errorf("state: machine %d lacks %d bytes over %v for item %d",
+			l.To, it.SizeBytes, hold, item)
+	}
+	if st.sendPort != nil {
+		if !st.sendPort[l.From].CanCommit(start, d) {
+			return Transfer{}, fmt.Errorf("state: machine %d send port busy at %v", l.From, start)
+		}
+		if !st.recvPort[l.To].CanCommit(start, d) {
+			return Transfer{}, fmt.Errorf("state: machine %d receive port busy at %v", l.To, start)
+		}
+	}
+	if err := st.links[link].Commit(start, d); err != nil {
+		return Transfer{}, fmt.Errorf("state: item %d on link %d: %w", item, link, err)
+	}
+	if st.sendPort != nil {
+		// CanCommit was verified above; these cannot fail.
+		if err := st.sendPort[l.From].Commit(start, d); err != nil {
+			return Transfer{}, fmt.Errorf("state: send port raced: %w", err)
+		}
+		if err := st.recvPort[l.To].Commit(start, d); err != nil {
+			return Transfer{}, fmt.Errorf("state: receive port raced: %w", err)
+		}
+	}
+	if err := st.caps[l.To].Reserve(it.SizeBytes, hold); err != nil {
+		// Unreachable after CanReserve, but keep the books consistent.
+		return Transfer{}, fmt.Errorf("state: capacity reservation raced: %w", err)
+	}
+
+	st.addHolder(item, Holder{Machine: l.To, Avail: arrival, End: hold.End})
+	tr := Transfer{
+		Item: item, Link: link, From: l.From, To: l.To,
+		Start: start, Duration: d, Arrival: arrival,
+	}
+	st.transfers = append(st.transfers, tr)
+
+	for k, rq := range it.Requests {
+		if rq.Machine == l.To && !arrival.After(rq.Deadline) {
+			id := model.RequestID{Item: item, Index: k}
+			if _, done := st.satisfied[id]; !done {
+				st.satisfied[id] = arrival
+			}
+		}
+	}
+	return tr, nil
+}
+
+// SetFloor forbids new transfers from starting before t. Used by the
+// dynamic simulator after replaying history: planning happens at time t and
+// cannot occupy the past.
+func (st *State) SetFloor(t simtime.Instant) { st.floor = t }
+
+// Floor returns the earliest instant new transfers may start.
+func (st *State) Floor() simtime.Instant { return st.floor }
+
+// WithholdItem hides an item from the scheduler until ReleaseItem is
+// called: a dynamic request that has not arrived yet.
+func (st *State) WithholdItem(item model.ItemID) {
+	if st.unreleased == nil {
+		st.unreleased = make(map[model.ItemID]bool)
+	}
+	st.unreleased[item] = true
+}
+
+// ReleaseItem makes a withheld item schedulable.
+func (st *State) ReleaseItem(item model.ItemID) { delete(st.unreleased, item) }
+
+// IsReleased reports whether the scheduler may plan for the item.
+func (st *State) IsReleased(item model.ItemID) bool { return !st.unreleased[item] }
+
+// FailLink removes the virtual link's availability from instant t onward:
+// no new transfer can be booked into [t, ∞), and a replayed transfer still
+// in flight at t will fail to commit. Idempotent; an earlier failure time
+// wins.
+func (st *State) FailLink(id model.LinkID, t simtime.Instant) {
+	if st.outages == nil {
+		st.outages = make(map[model.LinkID]simtime.Instant)
+	}
+	if prev, ok := st.outages[id]; !ok || t < prev {
+		st.outages[id] = t
+	}
+	st.links[id].Block(simtime.Interval{Start: t, End: simtime.Forever})
+}
+
+// Outage returns the instant the link was forced down, if it was.
+func (st *State) Outage(id model.LinkID) (simtime.Instant, bool) {
+	t, ok := st.outages[id]
+	return t, ok
+}
+
+// Transfers returns the committed schedule in commit order. The slice is
+// shared; do not mutate.
+func (st *State) Transfers() []Transfer { return st.transfers }
+
+// Satisfied returns the arrival instant of every satisfied request. The map
+// is shared; do not mutate.
+func (st *State) Satisfied() map[model.RequestID]simtime.Instant { return st.satisfied }
+
+// IsSatisfied reports whether the request has been satisfied.
+func (st *State) IsSatisfied(id model.RequestID) bool {
+	_, ok := st.satisfied[id]
+	return ok
+}

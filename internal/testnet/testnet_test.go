@@ -1,0 +1,92 @@
+package testnet
+
+import (
+	"testing"
+	"time"
+
+	"datastaging/internal/model"
+	"datastaging/internal/simtime"
+)
+
+func TestBuilderProducesValidScenario(t *testing.T) {
+	b := NewBuilder().GC(10 * time.Minute)
+	ms := b.Machines(3, 1000)
+	if len(ms) != 3 || ms[2] != 2 {
+		t.Fatalf("Machines: got %v", ms)
+	}
+	l := b.Link(ms[0], ms[1], time.Minute, time.Hour, KBPS(56))
+	b.Link(ms[1], ms[2], 0, time.Hour, KBPS(56))
+	b.Link(ms[2], ms[0], 0, time.Hour, KBPS(56))
+	item := b.Item(100, []model.Source{Src(ms[0], time.Minute)},
+		[]model.Request{Req(ms[2], 30*time.Minute, model.Medium)})
+	sc := b.Build("built")
+
+	if sc.Name != "built" || sc.GarbageCollect != 10*time.Minute {
+		t.Errorf("scalars: %q %v", sc.Name, sc.GarbageCollect)
+	}
+	if got := sc.Network.Link(l).BandwidthBPS; got != 56000 {
+		t.Errorf("KBPS: got %d", got)
+	}
+	if got := sc.Network.Link(l).Window.Start; got != simtime.At(time.Minute) {
+		t.Errorf("window start: got %v", got)
+	}
+	if got := sc.Item(item).Requests[0].Priority; got != model.Medium {
+		t.Errorf("request priority: got %v", got)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestBuilderPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Build of invalid scenario should panic")
+		}
+	}()
+	b := NewBuilder()
+	ms := b.Machines(2, 1000)
+	b.Link(ms[0], ms[0], 0, time.Hour, 1) // self-link
+	b.Build("bad")
+}
+
+func TestLinkWindowsSharePhysical(t *testing.T) {
+	b := NewBuilder()
+	ms := b.Machines(2, 1000)
+	ids := b.LinkWindows(ms[0], ms[1], 1000,
+		simtime.Interval{Start: 0, End: simtime.At(time.Hour)},
+		simtime.Interval{Start: simtime.At(2 * time.Hour), End: simtime.At(3 * time.Hour)},
+	)
+	b.Link(ms[1], ms[0], 0, time.Hour, 1000)
+	b.Item(10, []model.Source{Src(ms[0], 0)}, []model.Request{Req(ms[1], time.Hour, model.Low)})
+	sc := b.Build("windows")
+	if len(ids) != 2 {
+		t.Fatalf("LinkWindows: got %d ids", len(ids))
+	}
+	if sc.Network.Link(ids[0]).Physical != sc.Network.Link(ids[1]).Physical {
+		t.Error("windows of one physical link must share Physical")
+	}
+}
+
+func TestLineFixture(t *testing.T) {
+	sc := Line(5, 2048, 16000, 45*time.Minute)
+	if sc.Network.NumMachines() != 5 {
+		t.Errorf("machines: %d", sc.Network.NumMachines())
+	}
+	if !sc.Network.StronglyConnected() {
+		t.Error("line fixture must be strongly connected")
+	}
+	if len(sc.Items) != 1 || sc.Items[0].Requests[0].Machine != 4 {
+		t.Errorf("item: %+v", sc.Items)
+	}
+}
+
+func TestDiamondFixture(t *testing.T) {
+	sc := Diamond(1000, time.Hour)
+	if sc.Network.NumMachines() != 4 || len(sc.Network.Links) != 5 {
+		t.Errorf("diamond shape: %d machines %d links", sc.Network.NumMachines(), len(sc.Network.Links))
+	}
+	if !sc.Network.StronglyConnected() {
+		t.Error("diamond must be strongly connected")
+	}
+}

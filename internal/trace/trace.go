@@ -1,0 +1,197 @@
+// Package trace renders committed schedules for human inspection: an ASCII
+// per-machine activity timeline (who is sending/receiving when), per-link
+// utilization, and per-machine traffic statistics. stagerun uses it behind
+// the -timeline flag; it is also handy in tests when a schedule looks
+// wrong.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"datastaging/internal/model"
+	"datastaging/internal/scenario"
+	"datastaging/internal/simtime"
+	"datastaging/internal/state"
+)
+
+// Timeline renders each machine as a row of time buckets spanning the
+// schedule's active period. Bucket marks: 'S' sending only, 'R' receiving
+// only, '#' both, '.' idle.
+func Timeline(sc *scenario.Scenario, transfers []state.Transfer, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if len(transfers) == 0 {
+		return "(empty schedule)\n"
+	}
+	var span simtime.Interval
+	span.Start = transfers[0].Start
+	for _, tr := range transfers {
+		if tr.Start < span.Start {
+			span.Start = tr.Start
+		}
+		if tr.Arrival > span.End {
+			span.End = tr.Arrival
+		}
+	}
+	total := span.Length()
+	if total <= 0 {
+		total = time.Nanosecond
+	}
+	bucket := func(t simtime.Instant) int {
+		b := int(int64(t.Sub(span.Start)) * int64(width) / int64(total))
+		if b >= width {
+			b = width - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		return b
+	}
+
+	m := sc.Network.NumMachines()
+	rows := make([][]byte, m)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	mark := func(machine model.MachineID, from, to int, send bool) {
+		for b := from; b <= to; b++ {
+			cur := rows[machine][b]
+			switch {
+			case send && (cur == 'R' || cur == '#'):
+				rows[machine][b] = '#'
+			case !send && (cur == 'S' || cur == '#'):
+				rows[machine][b] = '#'
+			case send:
+				rows[machine][b] = 'S'
+			default:
+				rows[machine][b] = 'R'
+			}
+		}
+	}
+	for _, tr := range transfers {
+		b0, b1 := bucket(tr.Start), bucket(tr.Arrival)
+		mark(tr.From, b0, b1, true)
+		mark(tr.To, b0, b1, false)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule timeline %v .. %v (%d transfers; S=send R=receive #=both)\n",
+		span.Start, span.End, len(transfers))
+	for i := 0; i < m; i++ {
+		name := sc.Network.Machine(model.MachineID(i)).Name
+		if name == "" {
+			name = fmt.Sprintf("m%d", i)
+		}
+		fmt.Fprintf(&b, "%12s |%s|\n", name, rows[i])
+	}
+	return b.String()
+}
+
+// LinkStats is the utilization of one virtual link under a schedule.
+type LinkStats struct {
+	Link        model.LinkID
+	From, To    model.MachineID
+	Transfers   int
+	Busy        time.Duration
+	Window      time.Duration
+	Utilization float64
+}
+
+// LinkUtilization aggregates busy time per virtual link, most utilized
+// first. Links that carried nothing are omitted.
+func LinkUtilization(sc *scenario.Scenario, transfers []state.Transfer) []LinkStats {
+	agg := make(map[model.LinkID]*LinkStats)
+	for _, tr := range transfers {
+		s := agg[tr.Link]
+		if s == nil {
+			l := sc.Network.Link(tr.Link)
+			s = &LinkStats{Link: tr.Link, From: l.From, To: l.To, Window: l.Window.Length()}
+			agg[tr.Link] = s
+		}
+		s.Transfers++
+		s.Busy += tr.Duration
+	}
+	out := make([]LinkStats, 0, len(agg))
+	for _, s := range agg {
+		if s.Window > 0 {
+			s.Utilization = float64(s.Busy) / float64(s.Window)
+		}
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Utilization != out[j].Utilization {
+			return out[i].Utilization > out[j].Utilization
+		}
+		return out[i].Link < out[j].Link
+	})
+	return out
+}
+
+// MachineStats is one machine's traffic under a schedule.
+type MachineStats struct {
+	Machine  model.MachineID
+	Sends    int
+	Receives int
+	BytesIn  int64
+	BytesOut int64
+	// PeakStored is the largest total size of schedule-delivered copies
+	// simultaneously resident (source copies excluded, matching the
+	// net-capacity convention).
+	PeakStored int64
+}
+
+// MachineActivity aggregates per-machine traffic, indexed by machine ID.
+func MachineActivity(sc *scenario.Scenario, transfers []state.Transfer) []MachineStats {
+	out := make([]MachineStats, sc.Network.NumMachines())
+	for i := range out {
+		out[i].Machine = model.MachineID(i)
+	}
+	type change struct {
+		at    simtime.Instant
+		delta int64
+	}
+	changes := make([][]change, len(out))
+	for _, tr := range transfers {
+		size := sc.Item(tr.Item).SizeBytes
+		out[tr.From].Sends++
+		out[tr.From].BytesOut += size
+		out[tr.To].Receives++
+		out[tr.To].BytesIn += size
+		end := gcEnd(sc, tr.Item, tr.To)
+		changes[tr.To] = append(changes[tr.To], change{at: tr.Arrival, delta: size})
+		if end != simtime.Forever {
+			changes[tr.To] = append(changes[tr.To], change{at: end, delta: -size})
+		}
+	}
+	for mi := range changes {
+		cs := changes[mi]
+		sort.Slice(cs, func(a, b int) bool {
+			if cs[a].at != cs[b].at {
+				return cs[a].at < cs[b].at
+			}
+			return cs[a].delta < cs[b].delta // releases before arrivals at ties
+		})
+		var cur, peak int64
+		for _, c := range cs {
+			cur += c.delta
+			if cur > peak {
+				peak = cur
+			}
+		}
+		out[mi].PeakStored = peak
+	}
+	return out
+}
+
+func gcEnd(sc *scenario.Scenario, item model.ItemID, m model.MachineID) simtime.Instant {
+	for _, rq := range sc.Item(item).Requests {
+		if rq.Machine == m {
+			return simtime.Forever
+		}
+	}
+	return sc.GCInstant(sc.Item(item))
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"datastaging/internal/core"
+	"datastaging/internal/gen"
+	"datastaging/internal/model"
+	"datastaging/internal/state"
+	"datastaging/internal/testnet"
+)
+
+func TestTimelineRendersActivity(t *testing.T) {
+	sc := testnet.Line(3, 1024, 8000, time.Hour)
+	cfg := core.Config{Heuristic: core.PartialPath, Criterion: core.C4,
+		EU: core.EUFromLog10(0), Weights: model.Weights1x10x100}
+	res, err := core.Schedule(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Timeline(sc, res.Transfers, 40)
+	if !strings.Contains(out, "2 transfers") {
+		t.Errorf("header missing transfer count:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 3 machines
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Machine 0 only sends, machine 2 only receives, machine 1 does both
+	// (sequentially, so S and R marks but no forced '#').
+	if !strings.Contains(lines[1], "S") || strings.Contains(lines[1], "R") {
+		t.Errorf("machine 0 row wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "R") || strings.Contains(lines[3], "S") {
+		t.Errorf("machine 2 row wrong: %q", lines[3])
+	}
+	if !strings.Contains(lines[2], "S") || !strings.Contains(lines[2], "R") {
+		t.Errorf("machine 1 row should both send and receive: %q", lines[2])
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	sc := testnet.Line(2, 1024, 8000, time.Hour)
+	if out := Timeline(sc, nil, 40); !strings.Contains(out, "empty") {
+		t.Errorf("empty timeline: %q", out)
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	sc := testnet.Line(3, 1024, 8000, time.Hour)
+	cfg := core.Config{Heuristic: core.PartialPath, Criterion: core.C4,
+		EU: core.EUFromLog10(0), Weights: model.Weights1x10x100}
+	res, err := core.Schedule(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := LinkUtilization(sc, res.Transfers)
+	if len(stats) != 2 {
+		t.Fatalf("got %d used links, want 2", len(stats))
+	}
+	for _, s := range stats {
+		if s.Transfers != 1 {
+			t.Errorf("link %d: %d transfers", s.Link, s.Transfers)
+		}
+		if s.Busy != 1024*time.Millisecond {
+			t.Errorf("link %d: busy %v", s.Link, s.Busy)
+		}
+		if s.Utilization <= 0 || s.Utilization > 1 {
+			t.Errorf("link %d: utilization %v", s.Link, s.Utilization)
+		}
+	}
+	// Sorted descending by utilization.
+	if stats[0].Utilization < stats[1].Utilization {
+		t.Error("not sorted by utilization")
+	}
+}
+
+func TestMachineActivityAndPeak(t *testing.T) {
+	// Two items staged through machine 1 with overlapping holds.
+	b := testnet.NewBuilder()
+	ms := b.Machines(3, 1<<20)
+	day := 24 * time.Hour
+	b.Link(ms[0], ms[1], 0, day, 80000)
+	b.Link(ms[1], ms[2], 0, day, 80000)
+	b.Link(ms[2], ms[0], 0, day, 80000)
+	itemA := b.Item(1000, []model.Source{testnet.Src(ms[0], 0)},
+		[]model.Request{testnet.Req(ms[2], 30*time.Minute, model.High)})
+	itemB := b.Item(2000, []model.Source{testnet.Src(ms[0], 0)},
+		[]model.Request{testnet.Req(ms[2], 30*time.Minute, model.Low)})
+	sc := b.Build("peak")
+	st := state.New(sc)
+	// Serialize the two items' first hops on the shared link.
+	start := st.Holders(itemA)[0].Avail
+	for _, item := range []model.ItemID{itemA, itemB} {
+		tr, err := st.Commit(item, 0, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Commit(item, 1, tr.Arrival); err != nil {
+			t.Fatal(err)
+		}
+		start = tr.Arrival
+	}
+	acts := MachineActivity(sc, st.Transfers())
+	if acts[0].Sends != 2 || acts[0].BytesOut != 3000 || acts[0].Receives != 0 {
+		t.Errorf("machine 0: %+v", acts[0])
+	}
+	if acts[1].Sends != 2 || acts[1].Receives != 2 || acts[1].BytesIn != 3000 {
+		t.Errorf("machine 1: %+v", acts[1])
+	}
+	// Both copies overlap at machine 1 until garbage collection.
+	if acts[1].PeakStored != 3000 {
+		t.Errorf("machine 1 peak: got %d, want 3000", acts[1].PeakStored)
+	}
+	// Destination copies persist forever.
+	if acts[2].PeakStored != 3000 {
+		t.Errorf("machine 2 peak: got %d, want 3000", acts[2].PeakStored)
+	}
+}
+
+func TestActivityOnGeneratedScenario(t *testing.T) {
+	p := gen.Default()
+	p.Machines = gen.IntRange{Min: 6, Max: 6}
+	p.RequestsPerMachine = gen.IntRange{Min: 8, Max: 8}
+	sc := gen.MustGenerate(p, 3)
+	cfg := core.Config{Heuristic: core.FullPathOneDest, Criterion: core.C4,
+		EU: core.EUFromLog10(2), Weights: model.Weights1x10x100}
+	res, err := core.Schedule(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Timeline(sc, res.Transfers, 60)
+	if len(strings.Split(out, "\n")) < 7 {
+		t.Errorf("timeline too short:\n%s", out)
+	}
+	var totalSends int
+	for _, a := range MachineActivity(sc, res.Transfers) {
+		totalSends += a.Sends
+		if a.PeakStored > sc.Network.Machine(a.Machine).CapacityBytes {
+			t.Errorf("machine %d peak %d exceeds capacity", a.Machine, a.PeakStored)
+		}
+	}
+	if totalSends != len(res.Transfers) {
+		t.Errorf("sends %d != transfers %d", totalSends, len(res.Transfers))
+	}
+	for _, s := range LinkUtilization(sc, res.Transfers) {
+		if s.Utilization > 1.0000001 {
+			t.Errorf("link %d over 100%% utilized", s.Link)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package validator replays a communication schedule against a pristine
+// scenario and independently re-derives every feasibility constraint of the
+// model: link windows and exclusivity, copy presence and lifetime at the
+// sending machine, single delivery per machine, and storage capacity over
+// time. It shares no bookkeeping with internal/state — it is the
+// cross-check that the schedulers' output is physically executable, used by
+// integration tests for every heuristic and baseline.
+package validator
+
+import (
+	"fmt"
+	"sort"
+
+	"datastaging/internal/model"
+	"datastaging/internal/resource"
+	"datastaging/internal/scenario"
+	"datastaging/internal/simtime"
+	"datastaging/internal/state"
+)
+
+// Validate replays the transfers and returns the first violated constraint,
+// or nil if the schedule is executable.
+func Validate(sc *scenario.Scenario, transfers []state.Transfer) error {
+	if err := validateShape(sc, transfers); err != nil {
+		return err
+	}
+	if err := validateLinkExclusivity(sc, transfers); err != nil {
+		return err
+	}
+	if sc.SerialTransfers {
+		if err := validatePortExclusivity(sc, transfers); err != nil {
+			return err
+		}
+	}
+	if err := validateCopyLifetimes(sc, transfers); err != nil {
+		return err
+	}
+	return validateCapacity(sc, transfers)
+}
+
+// validateShape checks each transfer in isolation: real link, matching
+// endpoints, exact duration and arrival, inside the window.
+func validateShape(sc *scenario.Scenario, transfers []state.Transfer) error {
+	for i, tr := range transfers {
+		if int(tr.Item) < 0 || int(tr.Item) >= len(sc.Items) {
+			return fmt.Errorf("validator: transfer %d: unknown item %d", i, tr.Item)
+		}
+		if int(tr.Link) < 0 || int(tr.Link) >= len(sc.Network.Links) {
+			return fmt.Errorf("validator: transfer %d: unknown link %d", i, tr.Link)
+		}
+		l := sc.Network.Link(tr.Link)
+		if tr.From != l.From || tr.To != l.To {
+			return fmt.Errorf("validator: transfer %d: endpoints %d→%d do not match link %d (%d→%d)",
+				i, tr.From, tr.To, tr.Link, l.From, l.To)
+		}
+		wantDur := l.TransferDuration(sc.Item(tr.Item).SizeBytes)
+		if tr.Duration != wantDur {
+			return fmt.Errorf("validator: transfer %d: duration %v, link requires %v", i, tr.Duration, wantDur)
+		}
+		if tr.Arrival != tr.Start.Add(tr.Duration) {
+			return fmt.Errorf("validator: transfer %d: arrival %v != start+duration %v",
+				i, tr.Arrival, tr.Start.Add(tr.Duration))
+		}
+		if !l.Window.ContainsInterval(simtime.Span(tr.Start, tr.Duration)) {
+			return fmt.Errorf("validator: transfer %d: slot [%v,%v) outside link window %v",
+				i, tr.Start, tr.Arrival, l.Window)
+		}
+	}
+	return nil
+}
+
+// validateLinkExclusivity checks that no two transfers overlap on one
+// virtual link.
+func validateLinkExclusivity(sc *scenario.Scenario, transfers []state.Transfer) error {
+	byLink := make(map[model.LinkID][]int)
+	for i, tr := range transfers {
+		byLink[tr.Link] = append(byLink[tr.Link], i)
+	}
+	for link, idxs := range byLink {
+		sort.Slice(idxs, func(a, b int) bool { return transfers[idxs[a]].Start < transfers[idxs[b]].Start })
+		for k := 1; k < len(idxs); k++ {
+			prev, cur := transfers[idxs[k-1]], transfers[idxs[k]]
+			if cur.Start < prev.Arrival {
+				return fmt.Errorf("validator: link %d: transfers %d and %d overlap ([%v,%v) vs [%v,%v))",
+					link, idxs[k-1], idxs[k], prev.Start, prev.Arrival, cur.Start, cur.Arrival)
+			}
+		}
+	}
+	return nil
+}
+
+// validatePortExclusivity checks the SerialTransfers extension: no machine
+// sends two transfers at once or receives two at once.
+func validatePortExclusivity(sc *scenario.Scenario, transfers []state.Transfer) error {
+	check := func(port string, of func(state.Transfer) model.MachineID) error {
+		byMachine := make(map[model.MachineID][]int)
+		for i, tr := range transfers {
+			m := of(tr)
+			byMachine[m] = append(byMachine[m], i)
+		}
+		for m, idxs := range byMachine {
+			sort.Slice(idxs, func(a, b int) bool { return transfers[idxs[a]].Start < transfers[idxs[b]].Start })
+			for k := 1; k < len(idxs); k++ {
+				prev, cur := transfers[idxs[k-1]], transfers[idxs[k]]
+				if cur.Start < prev.Arrival {
+					return fmt.Errorf("validator: machine %d %s port: transfers %d and %d overlap",
+						m, port, idxs[k-1], idxs[k])
+				}
+			}
+		}
+		return nil
+	}
+	if err := check("send", func(tr state.Transfer) model.MachineID { return tr.From }); err != nil {
+		return err
+	}
+	return check("receive", func(tr state.Transfer) model.MachineID { return tr.To })
+}
+
+// copy is a reconstructed item copy at a machine.
+type copyRecord struct {
+	avail simtime.Instant
+	end   simtime.Instant
+}
+
+// reconstructCopies derives every copy the schedule creates, verifying that
+// each machine receives an item at most once and never re-receives what it
+// already holds.
+func reconstructCopies(sc *scenario.Scenario, transfers []state.Transfer) (map[deliveredKey]copyRecord, error) {
+	copies := make(map[deliveredKey]copyRecord)
+	for i := range sc.Items {
+		it := &sc.Items[i]
+		for _, src := range it.Sources {
+			copies[deliveredKey{model.ItemID(i), src.Machine}] = copyRecord{
+				avail: src.Available,
+				end:   simtime.Forever,
+			}
+		}
+	}
+	// Transfers are in commit order, but physical time order is what
+	// matters for existence; process by start time.
+	order := make([]int, len(transfers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return transfers[order[a]].Start < transfers[order[b]].Start })
+	for _, i := range order {
+		tr := transfers[i]
+		key := deliveredKey{tr.Item, tr.To}
+		if _, dup := copies[key]; dup {
+			return nil, fmt.Errorf("validator: transfer %d delivers item %d to machine %d which already holds it",
+				i, tr.Item, tr.To)
+		}
+		end := gcEnd(sc, tr.Item, tr.To)
+		copies[key] = copyRecord{avail: tr.Arrival, end: end}
+	}
+	return copies, nil
+}
+
+type deliveredKey struct {
+	item    model.ItemID
+	machine model.MachineID
+}
+
+func gcEnd(sc *scenario.Scenario, item model.ItemID, m model.MachineID) simtime.Instant {
+	for _, rq := range sc.Item(item).Requests {
+		if rq.Machine == m {
+			return simtime.Forever // final destination copies persist
+		}
+	}
+	return sc.GCInstant(sc.Item(item))
+}
+
+// validateCopyLifetimes checks each transfer's sending machine actually
+// holds a live copy for the whole transmission.
+func validateCopyLifetimes(sc *scenario.Scenario, transfers []state.Transfer) error {
+	copies, err := reconstructCopies(sc, transfers)
+	if err != nil {
+		return err
+	}
+	for i, tr := range transfers {
+		c, ok := copies[deliveredKey{tr.Item, tr.From}]
+		if !ok {
+			return fmt.Errorf("validator: transfer %d: machine %d never holds item %d", i, tr.From, tr.Item)
+		}
+		if tr.Start.Before(c.avail) {
+			return fmt.Errorf("validator: transfer %d: starts %v before copy at machine %d exists (%v)",
+				i, tr.Start, tr.From, c.avail)
+		}
+		if c.end != simtime.Forever && tr.Arrival.After(c.end) {
+			return fmt.Errorf("validator: transfer %d: ends %v after copy at machine %d is collected (%v)",
+				i, tr.Arrival, tr.From, c.end)
+		}
+	}
+	return nil
+}
+
+// validateCapacity rebuilds every machine's storage profile from the
+// delivered copies and checks it never goes negative. Initial source copies
+// are not charged (net-capacity convention, DESIGN.md §2).
+func validateCapacity(sc *scenario.Scenario, transfers []state.Transfer) error {
+	caps := make([]*resource.Capacity, sc.Network.NumMachines())
+	for i, m := range sc.Network.Machines {
+		caps[i] = resource.NewCapacity(m.CapacityBytes)
+	}
+	for i, tr := range transfers {
+		size := sc.Item(tr.Item).SizeBytes
+		iv := simtime.Interval{Start: tr.Arrival, End: gcEnd(sc, tr.Item, tr.To)}
+		if err := caps[tr.To].Reserve(size, iv); err != nil {
+			return fmt.Errorf("validator: transfer %d: machine %d over capacity for item %d over %v: %w",
+				i, tr.To, tr.Item, iv, err)
+		}
+	}
+	return nil
+}
+
+// SatisfiedSet independently re-derives which requests the schedule
+// satisfies: the item's copy reaches the requesting machine at or before
+// the deadline.
+func SatisfiedSet(sc *scenario.Scenario, transfers []state.Transfer) (map[model.RequestID]simtime.Instant, error) {
+	copies, err := reconstructCopies(sc, transfers)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[model.RequestID]simtime.Instant)
+	for i := range sc.Items {
+		for k, rq := range sc.Items[i].Requests {
+			c, ok := copies[deliveredKey{model.ItemID(i), rq.Machine}]
+			if ok && !c.avail.After(rq.Deadline) {
+				out[model.RequestID{Item: model.ItemID(i), Index: k}] = c.avail
+			}
+		}
+	}
+	return out, nil
+}

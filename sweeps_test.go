@@ -1,0 +1,73 @@
+package datastaging_test
+
+import (
+	"testing"
+	"time"
+
+	"datastaging"
+)
+
+func tinyStudyOptions() datastaging.StudyOptions {
+	p := datastaging.DefaultParams()
+	p.Machines.Min, p.Machines.Max = 5, 5
+	p.RequestsPerMachine.Min, p.RequestsPerMachine.Max = 4, 4
+	return datastaging.StudyOptions{
+		Params: p, NumCases: 2, BaseSeed: 1, Weights: datastaging.Weights1x10x100,
+	}
+}
+
+func TestPublicAPISweeps(t *testing.T) {
+	opts := tinyStudyOptions()
+	pair := datastaging.Pair{Heuristic: datastaging.FullPathOneDest, Criterion: datastaging.C4}
+	eu := datastaging.EUFromLog10(2)
+
+	if pts, err := datastaging.GammaSweep(opts, []time.Duration{0, 6 * time.Minute}, pair, eu); err != nil || len(pts) != 2 {
+		t.Errorf("GammaSweep: %v, %d points", err, len(pts))
+	}
+	if pts, err := datastaging.FailureSweep(opts, []int{0, 3}, pair, eu); err != nil || len(pts) != 2 {
+		t.Errorf("FailureSweep: %v, %d points", err, len(pts))
+	}
+	if pt, err := datastaging.SerialComparison(opts, pair, eu); err != nil || pt.Serial.Mean > pt.Parallel.Mean {
+		t.Errorf("SerialComparison: %v, %+v", err, pt)
+	}
+	if cr, err := datastaging.CongestionSweep(opts, []int{3, 6}, pair, eu); err != nil || len(cr.Points) != 2 {
+		t.Errorf("CongestionSweep: %v", err)
+	}
+	if got := len(datastaging.PairsWithExtensions()); got != 14 {
+		t.Errorf("PairsWithExtensions: got %d", got)
+	}
+}
+
+func TestPublicAPIExhaustive(t *testing.T) {
+	p := datastaging.DefaultParams()
+	p.Machines.Min, p.Machines.Max = 4, 4
+	p.RequestsPerMachine.Min, p.RequestsPerMachine.Max = 1, 1
+	p.DestsPerItem.Min, p.DestsPerItem.Max = 1, 1
+	sc, err := datastaging.Generate(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumRequests() > datastaging.ExhaustiveMaxRequests {
+		t.Skip("instance too large for the exhaustive cap")
+	}
+	opt, err := datastaging.ExhaustiveSearch(sc, datastaging.Weights1x10x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := datastaging.Config{
+		Heuristic: datastaging.FullPathOneDest, Criterion: datastaging.C4,
+		EU: datastaging.EUFromLog10(2), Weights: datastaging.Weights1x10x100,
+	}
+	res, err := datastaging.Schedule(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.WeightedValue(sc, cfg.Weights); v > opt.Value {
+		t.Errorf("heuristic (%v) above exhaustive optimum (%v)", v, opt.Value)
+	}
+	// Stats are exposed through the facade too.
+	st := sc.Stats()
+	if st.Machines != 4 || st.Requests != sc.NumRequests() {
+		t.Errorf("ScenarioStats: %+v", st)
+	}
+}
