@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench cover study examples clean
+.PHONY: all build vet test test-short race bench bench-json cover study examples clean
 
 all: build vet test
 
@@ -19,9 +19,19 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# The race suite CI runs: the parallel replanning equivalence tests plus
+# everything else that is quick enough under the detector.
+race:
+	$(GO) test -short -race ./...
+
 # One benchmark pass over every paper figure/table plus the micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Refresh BENCH_core.json, the scheduling hot-path perf trajectory
+# (baselines are preserved; see scripts/bench_baseline.sh).
+bench-json:
+	sh scripts/bench_baseline.sh BENCH_core.json
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -9,7 +9,7 @@
 //	         [-criterion C1..C5] [-eu LOG10|inf|-inf]
 //	         [-weights 1,10,100|1,5,10] [-scheduler heuristic|priority_first|
 //	          random_dijkstra|single_dij_random]
-//	         [-transfers] [-timeline] [-explain N]
+//	         [-transfers] [-timeline] [-explain N] [-parallel N]
 package main
 
 import (
@@ -54,6 +54,7 @@ func run(args []string, out io.Writer) error {
 	showTimeline := fs.Bool("timeline", false, "print the per-machine activity timeline and link utilization")
 	explainN := fs.Int("explain", 0, "diagnose up to N unsatisfied requests (why each went unserved)")
 	csvOut := fs.String("csvout", "", "write the transfer schedule as CSV to this file")
+	parallel := fs.Int("parallel", 0, "worker goroutines for forest replanning inside the run (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,6 +73,10 @@ func run(args []string, out io.Writer) error {
 	case "heuristic":
 		cfg, err := buildConfig(*heuristicName, *criterionName, *euName, w)
 		if err != nil {
+			return err
+		}
+		cfg.Parallelism = *parallel
+		if err := cfg.Validate(); err != nil {
 			return err
 		}
 		res, err = core.Schedule(sc, cfg)

@@ -9,6 +9,7 @@
 //	stagesim [-cases 40] [-seed 1] [-weights 1,10,100|1,5,10|both]
 //	         [-figures 2,3,4,5] [-extras] [-baseline] [-congestion]
 //	         [-csv DIR] [-height 16] [-quiet]
+//	         [-parallel N] [-plan-parallel N]
 package main
 
 import (
@@ -36,22 +37,23 @@ func main() {
 }
 
 type options struct {
-	cases      int
-	seed       int64
-	weights    string
-	figures    string
-	extras     bool
-	baseline   bool
-	congestion bool
-	gamma      bool
-	failures   bool
-	serial     bool
-	extensions bool
-	arrivals   bool
-	csvDir     string
-	height     int
-	quiet      bool
-	parallel   int
+	cases        int
+	seed         int64
+	weights      string
+	figures      string
+	extras       bool
+	baseline     bool
+	congestion   bool
+	gamma        bool
+	failures     bool
+	serial       bool
+	extensions   bool
+	arrivals     bool
+	csvDir       string
+	height       int
+	quiet        bool
+	parallel     int
+	planParallel int
 }
 
 func run(args []string, out io.Writer) error {
@@ -73,6 +75,7 @@ func run(args []string, out io.Writer) error {
 	fs.IntVar(&o.height, "height", 16, "chart height in rows")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress progress output")
 	fs.IntVar(&o.parallel, "parallel", 0, "concurrent scheduler runs (0 = GOMAXPROCS)")
+	fs.IntVar(&o.planParallel, "plan-parallel", 0, "worker goroutines for forest replanning inside each run (0 = serial; raise for the single-threaded sweeps)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -129,7 +132,7 @@ func runArrivals(out io.Writer, o options, w model.Weights) error {
 	if !o.quiet {
 		fmt.Fprintln(os.Stderr, "running online-arrival sweep...")
 	}
-	opts := experiment.Options{Params: gen.Default(), NumCases: o.cases, BaseSeed: o.seed, Weights: w}
+	opts := experiment.Options{Params: gen.Default(), NumCases: o.cases, BaseSeed: o.seed, Weights: w, PlanParallelism: o.planParallel}
 	pair := core.Pair{Heuristic: core.FullPathOneDest, Criterion: core.C4}
 	points, err := experiment.ArrivalSweep(opts, []float64{0, 0.25, 0.5, 0.75, 1}, pair, core.EUFromLog10(2))
 	if err != nil {
@@ -144,7 +147,7 @@ func runSerial(out io.Writer, o options, w model.Weights) error {
 	if !o.quiet {
 		fmt.Fprintln(os.Stderr, "running parallel-vs-serial comparison...")
 	}
-	opts := experiment.Options{Params: gen.Default(), NumCases: o.cases, BaseSeed: o.seed, Weights: w}
+	opts := experiment.Options{Params: gen.Default(), NumCases: o.cases, BaseSeed: o.seed, Weights: w, PlanParallelism: o.planParallel}
 	pair := core.Pair{Heuristic: core.FullPathOneDest, Criterion: core.C4}
 	pt, err := experiment.SerialComparison(opts, pair, core.EUFromLog10(2))
 	if err != nil {
@@ -166,7 +169,7 @@ func runGamma(out io.Writer, o options, w model.Weights) error {
 	if !o.quiet {
 		fmt.Fprintln(os.Stderr, "running gamma ablation...")
 	}
-	opts := experiment.Options{Params: gen.Default(), NumCases: o.cases, BaseSeed: o.seed, Weights: w}
+	opts := experiment.Options{Params: gen.Default(), NumCases: o.cases, BaseSeed: o.seed, Weights: w, PlanParallelism: o.planParallel}
 	pair := core.Pair{Heuristic: core.FullPathOneDest, Criterion: core.C4}
 	gammas := []time.Duration{0, time.Minute, 6 * time.Minute, 30 * time.Minute, 2 * time.Hour}
 	points, err := experiment.GammaSweep(opts, gammas, pair, core.EUFromLog10(2))
@@ -182,7 +185,7 @@ func runFailures(out io.Writer, o options, w model.Weights) error {
 	if !o.quiet {
 		fmt.Fprintln(os.Stderr, "running failure resilience sweep...")
 	}
-	opts := experiment.Options{Params: gen.Default(), NumCases: o.cases, BaseSeed: o.seed, Weights: w}
+	opts := experiment.Options{Params: gen.Default(), NumCases: o.cases, BaseSeed: o.seed, Weights: w, PlanParallelism: o.planParallel}
 	pair := core.Pair{Heuristic: core.FullPathOneDest, Criterion: core.C4}
 	points, err := experiment.FailureSweep(opts, []int{0, 5, 15, 40, 100}, pair, core.EUFromLog10(2))
 	if err != nil {
@@ -229,11 +232,12 @@ func weightSchemes(s string) ([]weightScheme, error) {
 
 func runStudy(o options, ws weightScheme) (*experiment.Result, error) {
 	opts := experiment.Options{
-		Params:      gen.Default(),
-		NumCases:    o.cases,
-		BaseSeed:    o.seed,
-		Weights:     ws.weights,
-		Parallelism: o.parallel,
+		Params:          gen.Default(),
+		NumCases:        o.cases,
+		BaseSeed:        o.seed,
+		Weights:         ws.weights,
+		Parallelism:     o.parallel,
+		PlanParallelism: o.planParallel,
 	}
 	if o.extensions {
 		opts.Pairs = core.PairsWithExtensions()
@@ -332,10 +336,11 @@ func runCongestion(out io.Writer, o options, w model.Weights) error {
 		fmt.Fprintln(os.Stderr, "running congestion sweep...")
 	}
 	opts := experiment.Options{
-		Params:   gen.Default(),
-		NumCases: o.cases,
-		BaseSeed: o.seed,
-		Weights:  w,
+		Params:          gen.Default(),
+		NumCases:        o.cases,
+		BaseSeed:        o.seed,
+		Weights:         w,
+		PlanParallelism: o.planParallel,
 	}
 	pair := core.Pair{Heuristic: core.FullPathOneDest, Criterion: core.C4}
 	cr, err := experiment.CongestionSweep(opts, []int{10, 20, 30, 40, 50, 60}, pair, core.EUFromLog10(2))

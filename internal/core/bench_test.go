@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"datastaging/internal/dijkstra"
@@ -37,14 +38,49 @@ func BenchmarkScheduleParanoidRerun(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleParallel measures the production scheduler at several
+// replan-parallelism levels on a paper-scale scenario. On a multi-core host
+// the higher levels should show a wall-clock speedup over P1; on one core
+// they quantify the (small) goroutine overhead. Output is identical at
+// every level (TestParallelMatchesSerial).
+func BenchmarkScheduleParallel(b *testing.B) {
+	sc := gen.MustGenerate(gen.Default(), 42)
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P%d", par), func(b *testing.B) {
+			cfg := Config{Heuristic: FullPathOneDest, Criterion: C4, EU: EUFromLog10(2),
+				Weights: model.Weights1x10x100, Parallelism: par}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Schedule(sc, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDijkstraCompute measures one shortest-path forest computation on
-// a paper-scale network.
+// a paper-scale network, without scratch reuse (the cold path).
 func BenchmarkDijkstraCompute(b *testing.B) {
 	sc := gen.MustGenerate(gen.Default(), 42)
 	st := state.New(sc)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dijkstra.Compute(st, model.ItemID(i%len(sc.Items)))
+	}
+}
+
+// BenchmarkDijkstraComputeScratch measures the steady-state hot path the
+// planner actually runs: a held Scratch and a recycled Plan, which together
+// eliminate every per-computation allocation.
+func BenchmarkDijkstraComputeScratch(b *testing.B) {
+	sc := gen.MustGenerate(gen.Default(), 42)
+	st := state.New(sc)
+	s := dijkstra.NewScratch()
+	var pl *dijkstra.Plan
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl = s.Compute(st, model.ItemID(i%len(sc.Items)), pl)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"datastaging/internal/model"
@@ -138,6 +139,24 @@ type Config struct {
 	// slack contributes its full weight, one with τ of slack half of it.
 	// Zero selects the default of ten minutes. Ignored by C1–C4.
 	C5Tau time.Duration
+	// Parallelism caps the worker goroutines used to recompute invalidated
+	// shortest-path forests at the top of each select-and-commit iteration.
+	// Zero (the default) uses GOMAXPROCS; 1 forces the fully serial path.
+	// The schedule produced is identical for every value — shortest-path
+	// computations only read the shared state and results are written back
+	// by item index — so this is purely a wall-clock knob. Callers that
+	// already fan out across whole scheduling runs (internal/experiment)
+	// should leave their per-run configs at 1 to avoid oversubscription.
+	Parallelism int
+}
+
+// workers resolves the replan parallelism: Parallelism, or GOMAXPROCS when
+// it is zero.
+func (c Config) workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Validate rejects malformed configurations, including the twelfth pairing
@@ -167,6 +186,9 @@ func (c Config) Validate() error {
 	}
 	if c.C5Tau < 0 {
 		return errors.New("core: negative C5 tau")
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: negative parallelism %d", c.Parallelism)
 	}
 	return nil
 }

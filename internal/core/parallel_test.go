@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"datastaging/internal/gen"
+	"datastaging/internal/model"
+)
+
+// TestParallelMatchesSerial is the determinism suite for parallel forest
+// replanning: for every heuristic/criterion pair over several seeds, the
+// serial planner (Parallelism: 1), the parallel planner (Parallelism: 8,
+// forcing worker goroutines even on one core), and the paper's paranoid
+// re-run must produce identical schedules. The deterministic work counters
+// must also match between serial and parallel, since the parallel batch
+// computes exactly the forests the lazy path would and counts them at use.
+func TestParallelMatchesSerial(t *testing.T) {
+	p := gen.Default()
+	p.Machines = gen.IntRange{Min: 5, Max: 7}
+	p.RequestsPerMachine = gen.IntRange{Min: 5, Max: 10}
+	w := model.Weights1x10x100
+	for seed := int64(1); seed <= 3; seed++ {
+		sc := gen.MustGenerate(p, seed)
+		for _, pair := range Pairs() {
+			base := Config{Heuristic: pair.Heuristic, Criterion: pair.Criterion,
+				EU: EUFromLog10(1), Weights: w}
+
+			serialCfg := base
+			serialCfg.Parallelism = 1
+			serial, err := Schedule(sc, serialCfg)
+			if err != nil {
+				t.Fatalf("seed %d %v serial: %v", seed, pair, err)
+			}
+
+			parCfg := base
+			parCfg.Parallelism = 8
+			par, err := Schedule(sc, parCfg)
+			if err != nil {
+				t.Fatalf("seed %d %v parallel: %v", seed, pair, err)
+			}
+
+			naive, err := scheduleParanoid(sc, base)
+			if err != nil {
+				t.Fatalf("seed %d %v paranoid: %v", seed, pair, err)
+			}
+
+			assertSameSchedule(t, "parallel vs serial", seed, pair, par, serial)
+			assertSameSchedule(t, "serial vs paranoid", seed, pair, serial, naive)
+
+			if got, want := deterministicStats(par.Stats), deterministicStats(serial.Stats); got != want {
+				t.Errorf("seed %d %v: parallel stats %+v differ from serial %+v",
+					seed, pair, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSerialWithPortSerialization repeats the equivalence
+// check with the §3 port-serialization extension on, which exercises the
+// interval-set intersection path of EarliestTransferSlot under concurrent
+// readers.
+func TestParallelMatchesSerialWithPortSerialization(t *testing.T) {
+	p := gen.Default()
+	p.Machines = gen.IntRange{Min: 6, Max: 6}
+	p.RequestsPerMachine = gen.IntRange{Min: 8, Max: 8}
+	w := model.Weights1x10x100
+	for seed := int64(1); seed <= 2; seed++ {
+		sc := gen.MustGenerate(p, seed)
+		sc.SerialTransfers = true
+		for _, pair := range Pairs() {
+			base := Config{Heuristic: pair.Heuristic, Criterion: pair.Criterion,
+				EU: EUFromLog10(2), Weights: w}
+			serialCfg, parCfg := base, base
+			serialCfg.Parallelism = 1
+			parCfg.Parallelism = 8
+			serial, err := Schedule(sc, serialCfg)
+			if err != nil {
+				t.Fatalf("seed %d %v serial: %v", seed, pair, err)
+			}
+			par, err := Schedule(sc, parCfg)
+			if err != nil {
+				t.Fatalf("seed %d %v parallel: %v", seed, pair, err)
+			}
+			assertSameSchedule(t, "parallel vs serial (ports)", seed, pair, par, serial)
+		}
+	}
+}
+
+// deterministicStats projects Stats onto the counters that must be
+// identical across Parallelism settings (ReplanWall, ParallelBatches, and
+// BatchedRuns are timing- or batching-dependent by design).
+func deterministicStats(s Stats) [5]int {
+	return [5]int{s.DijkstraRuns, s.CacheHits, s.Invalidations, s.Iterations, s.Commits}
+}
+
+func assertSameSchedule(t *testing.T, what string, seed int64, pair Pair, got, want *Result) {
+	t.Helper()
+	if len(got.Transfers) != len(want.Transfers) {
+		t.Fatalf("seed %d %v %s: %d vs %d transfers",
+			seed, pair, what, len(got.Transfers), len(want.Transfers))
+	}
+	for i := range got.Transfers {
+		if got.Transfers[i] != want.Transfers[i] {
+			t.Fatalf("seed %d %v %s: transfer %d differs: %+v vs %+v",
+				seed, pair, what, i, got.Transfers[i], want.Transfers[i])
+		}
+	}
+	if len(got.Satisfied) != len(want.Satisfied) {
+		t.Fatalf("seed %d %v %s: satisfied %d vs %d",
+			seed, pair, what, len(got.Satisfied), len(want.Satisfied))
+	}
+	for id, at := range want.Satisfied {
+		if gat, ok := got.Satisfied[id]; !ok || gat != at {
+			t.Fatalf("seed %d %v %s: request %v satisfied at %v, want %v",
+				seed, pair, what, id, gat, at)
+		}
+	}
+}
+
+// TestParallelBatchStats sanity-checks the new counters: with forced
+// parallelism on a paper-scale scenario, at least the first iteration
+// (recomputing every live forest) must run as a parallel batch, and the
+// batched runs must be a subset of all Dijkstra runs.
+func TestParallelBatchStats(t *testing.T) {
+	sc := gen.MustGenerate(gen.Default(), 7)
+	cfg := Config{Heuristic: FullPathOneDest, Criterion: C4, EU: EUFromLog10(2),
+		Weights: model.Weights1x10x100, Parallelism: 4}
+	res, err := Schedule(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ParallelBatches == 0 {
+		t.Error("no parallel batches ran with Parallelism: 4")
+	}
+	if res.Stats.BatchedRuns == 0 || res.Stats.BatchedRuns > res.Stats.DijkstraRuns {
+		t.Errorf("batched runs %d out of range (total Dijkstra runs %d)",
+			res.Stats.BatchedRuns, res.Stats.DijkstraRuns)
+	}
+	if res.Stats.ReplanWall <= 0 {
+		t.Error("replan wall time not recorded")
+	}
+
+	serialCfg := cfg
+	serialCfg.Parallelism = 1
+	ser, err := Schedule(sc, serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Stats.ParallelBatches != 0 || ser.Stats.BatchedRuns != 0 {
+		t.Errorf("serial run recorded parallel batches: %+v", ser.Stats)
+	}
+}
+
+// TestConfigRejectsNegativeParallelism pins the validation rule.
+func TestConfigRejectsNegativeParallelism(t *testing.T) {
+	cfg := Config{Heuristic: PartialPath, Criterion: C4, EU: EUFromLog10(0),
+		Weights: model.Weights1x10x100, Parallelism: -1}
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative Parallelism validated")
+	}
+}

@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"datastaging/internal/dijkstra"
 	"datastaging/internal/model"
@@ -24,6 +27,16 @@ type Stats struct {
 	Iterations int
 	// Commits is the number of committed transfers (communication steps).
 	Commits int
+	// ReplanWall is the wall-clock time spent computing shortest-path
+	// forests, across both parallel batches and lazy recomputes. Unlike
+	// the counters above it is timing-dependent, not deterministic.
+	ReplanWall time.Duration
+	// ParallelBatches is how many iteration-top replan batches ran on
+	// more than one worker goroutine. Zero when Parallelism is 1.
+	ParallelBatches int
+	// BatchedRuns is how many forests were computed inside those parallel
+	// batches (a subset of DijkstraRuns).
+	BatchedRuns int
 }
 
 // planner owns the resource state and the per-item plan cache for one
@@ -37,13 +50,34 @@ type Stats struct {
 // on next use. The committed item's own forest is always dropped because it
 // gained a holder (its labels can improve).
 type planner struct {
-	st    *state.State
-	cfg   Config
-	plans []*dijkstra.Plan
+	st  *state.State
+	cfg Config
+	// workers is the resolved replan parallelism (cfg.Parallelism, or
+	// GOMAXPROCS when that is zero).
+	workers int
+	plans   []*dijkstra.Plan
+	// fresh[i] marks a plan computed by the batched prefetch but not yet
+	// consumed by plan(); its Dijkstra run is counted at first use so
+	// Stats are identical to the serial path.
+	fresh []bool
 	// dead[i] marks an item with no satisfiable open request; resources
 	// only shrink, so dead items never revive and are skipped forever.
 	dead  []bool
 	stats Stats
+	// freePlans recycles invalidated Plan structs: their slices back the
+	// next recompute instead of being reallocated.
+	freePlans []*dijkstra.Plan
+	// scratch backs serial (lazy) computes; workerScratch[w] backs worker
+	// w of a parallel batch. Each is owned by one goroutine at a time.
+	scratch       *dijkstra.Scratch
+	workerScratch []*dijkstra.Scratch
+	// queue, reuse, open, byR, and cands are per-iteration scratch reused
+	// across rounds to keep the select-and-commit loop allocation-free.
+	queue []model.ItemID
+	reuse []*dijkstra.Plan
+	open  []int
+	byR   map[model.MachineID]int
+	cands []candidate
 	// paranoid drops every cached forest on every commit, reproducing the
 	// paper's re-run-Dijkstra-each-iteration implementation. Tests compare
 	// it against the conflict-tracking cache to prove they are equivalent.
@@ -59,29 +93,131 @@ func newPlanner(sc *scenario.Scenario, cfg Config) *planner {
 func plannerOn(st *state.State, cfg Config) *planner {
 	items := len(st.Scenario().Items)
 	return &planner{
-		st:    st,
-		cfg:   cfg,
-		plans: make([]*dijkstra.Plan, items),
-		dead:  make([]bool, items),
+		st:      st,
+		cfg:     cfg,
+		workers: cfg.workers(),
+		plans:   make([]*dijkstra.Plan, items),
+		fresh:   make([]bool, items),
+		dead:    make([]bool, items),
+		scratch: dijkstra.NewScratch(),
+	}
+}
+
+// takeFree pops a recycled Plan for reuse, or nil when none is available.
+func (p *planner) takeFree() *dijkstra.Plan {
+	n := len(p.freePlans)
+	if n == 0 {
+		return nil
+	}
+	pl := p.freePlans[n-1]
+	p.freePlans[n-1] = nil
+	p.freePlans = p.freePlans[:n-1]
+	return pl
+}
+
+// invalidate drops an item's cached forest and recycles the struct.
+func (p *planner) invalidate(item model.ItemID) {
+	if pl := p.plans[item]; pl != nil {
+		p.freePlans = append(p.freePlans, pl)
+		p.plans[item] = nil
+		p.fresh[item] = false
 	}
 }
 
 // plan returns the item's current forest, recomputing it if invalidated.
 func (p *planner) plan(item model.ItemID) *dijkstra.Plan {
-	if p.plans[item] == nil {
-		p.plans[item] = dijkstra.Compute(p.st, item)
-		p.stats.DijkstraRuns++
-	} else {
-		p.stats.CacheHits++
+	if pl := p.plans[item]; pl != nil {
+		if p.fresh[item] {
+			// Computed by this iteration's parallel batch: count it as the
+			// Dijkstra run the serial path would have performed here.
+			p.fresh[item] = false
+			p.stats.DijkstraRuns++
+		} else {
+			p.stats.CacheHits++
+		}
+		return pl
 	}
-	return p.plans[item]
+	begin := time.Now()
+	pl := p.scratch.Compute(p.st, item, p.takeFree())
+	p.stats.ReplanWall += time.Since(begin)
+	p.plans[item] = pl
+	p.stats.DijkstraRuns++
+	return pl
+}
+
+// prefetch recomputes every invalidated forest the coming candidates pass
+// will need, spreading the work over the configured worker pool. Compute
+// only reads the shared state and each worker owns its Scratch, writing
+// results back by item index, so the batch is race-free and the resulting
+// forests are byte-identical to what the lazy serial path would compute
+// one by one (no commit happens between prefetch and use).
+func (p *planner) prefetch() {
+	if p.workers <= 1 {
+		return
+	}
+	sc := p.st.Scenario()
+	queue := p.queue[:0]
+	for i := range sc.Items {
+		item := model.ItemID(i)
+		if p.dead[i] || p.plans[i] != nil || !p.st.IsReleased(item) {
+			continue
+		}
+		if len(p.openRequests(item)) == 0 {
+			// Exactly the dead-marking the candidates pass would do before
+			// computing this item's forest.
+			p.dead[i] = true
+			continue
+		}
+		queue = append(queue, item)
+	}
+	p.queue = queue
+	if len(queue) < 2 {
+		return // the lazy path handles a single recompute without goroutines
+	}
+	reuse := p.reuse[:0]
+	for range queue {
+		reuse = append(reuse, p.takeFree())
+	}
+	p.reuse = reuse
+
+	begin := time.Now()
+	workers := min(p.workers, len(queue))
+	for len(p.workerScratch) < workers {
+		p.workerScratch = append(p.workerScratch, dijkstra.NewScratch())
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		s := p.workerScratch[w]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(queue) {
+					return
+				}
+				item := queue[k]
+				p.plans[item] = s.Compute(p.st, item, reuse[k])
+				p.fresh[item] = true
+			}
+		}()
+	}
+	wg.Wait()
+	p.stats.ReplanWall += time.Since(begin)
+	p.stats.ParallelBatches++
+	p.stats.BatchedRuns += len(queue)
+	for k := range reuse {
+		reuse[k] = nil // drop aliases to plans now owned by the cache
+	}
 }
 
 // openRequests returns the indices of the item's requests that are neither
-// satisfied nor closed by a (possibly late) copy at the destination.
+// satisfied nor closed by a (possibly late) copy at the destination. The
+// returned slice is planner-owned scratch, valid until the next call.
 func (p *planner) openRequests(item model.ItemID) []int {
 	it := p.st.Scenario().Item(item)
-	var open []int
+	open := p.open[:0]
 	for k, rq := range it.Requests {
 		if p.st.IsSatisfied(model.RequestID{Item: item, Index: k}) {
 			continue
@@ -91,16 +227,19 @@ func (p *planner) openRequests(item model.ItemID) []int {
 		}
 		open = append(open, k)
 	}
+	p.open = open
 	return open
 }
 
 // candidates builds every valid next communication step: for each live
 // item, the first hops of its forest toward its satisfiable open requests,
 // grouped by next machine (the paper's Drq[i, r]). Items that end up with
-// no satisfiable destination are marked dead.
+// no satisfiable destination are marked dead. The returned slice is
+// planner-owned scratch, valid until the next call.
 func (p *planner) candidates() []candidate {
+	p.prefetch()
 	sc := p.st.Scenario()
-	var out []candidate
+	out := p.cands[:0]
 	for i := range sc.Items {
 		item := model.ItemID(i)
 		if p.dead[i] || !p.st.IsReleased(item) {
@@ -114,8 +253,9 @@ func (p *planner) candidates() []candidate {
 		pl := p.plan(item)
 		it := sc.Item(item)
 		firstLen := len(out)
-		// byR maps a next machine to its candidate's index in out.
-		var byR map[model.MachineID]int
+		// byR maps a next machine to its candidate's index in out; the map
+		// is reused across items and rounds, cleared on first use per item.
+		cleared := false
 		for _, k := range open {
 			rq := &it.Requests[k]
 			at := pl.Arrival[rq.Machine]
@@ -132,14 +272,19 @@ func (p *planner) candidates() []candidate {
 				weight:   p.cfg.Weights.Of(rq.Priority),
 				slackSec: rq.Deadline.Sub(at).Seconds(),
 			}
-			if byR == nil {
-				byR = make(map[model.MachineID]int, 4)
+			if !cleared {
+				if p.byR == nil {
+					p.byR = make(map[model.MachineID]int, 8)
+				} else {
+					clear(p.byR)
+				}
+				cleared = true
 			}
-			idx, seen := byR[hop.To]
+			idx, seen := p.byR[hop.To]
 			if !seen {
 				idx = len(out)
-				byR[hop.To] = idx
-				out = append(out, candidate{item: item, hop: hop})
+				p.byR[hop.To] = idx
+				out = appendCandidate(out, item, hop)
 			}
 			out[idx].dests = append(out[idx].dests, d)
 		}
@@ -150,7 +295,22 @@ func (p *planner) candidates() []candidate {
 			p.dead[i] = true
 		}
 	}
+	p.cands = out
 	return out
+}
+
+// appendCandidate grows the candidate scratch by one slot, recycling the
+// slot's previous dests backing array when the capacity allows.
+func appendCandidate(out []candidate, item model.ItemID, hop dijkstra.Hop) []candidate {
+	n := len(out)
+	if n < cap(out) {
+		out = out[:n+1]
+		out[n].item = item
+		out[n].hop = hop
+		out[n].dests = out[n].dests[:0]
+		return out
+	}
+	return append(out, candidate{item: item, hop: hop})
 }
 
 // commit books one transfer and maintains the plan cache invariant.
@@ -160,10 +320,10 @@ func (p *planner) commit(item model.ItemID, link model.LinkID, start simtime.Ins
 		return err
 	}
 	p.stats.Commits++
-	p.plans[item] = nil // gained a holder; labels can improve
+	p.invalidate(item) // gained a holder; labels can improve
 	if p.paranoid {
 		for i := range p.plans {
-			p.plans[i] = nil
+			p.invalidate(model.ItemID(i))
 		}
 		return nil
 	}
@@ -172,7 +332,7 @@ func (p *planner) commit(item model.ItemID, link model.LinkID, start simtime.Ins
 			continue
 		}
 		if p.planConflicts(pl, tr) {
-			p.plans[i] = nil
+			p.invalidate(model.ItemID(i))
 			p.stats.Invalidations++
 		}
 	}

@@ -16,10 +16,15 @@
 // label is the true earliest arrival achievable in the current resource
 // state (given the model decision that capacity feasibility is checked at
 // the earliest arrival — see DESIGN.md §2).
+//
+// Compute only reads the state, so any number of Compute calls may run
+// concurrently against the same State (the planner in internal/core
+// recomputes invalidated forests in parallel). The per-computation working
+// memory lives in a Scratch, which is owned by exactly one goroutine at a
+// time; see DESIGN.md "Concurrency model".
 package dijkstra
 
 import (
-	"container/heap"
 	"time"
 
 	"datastaging/internal/model"
@@ -55,40 +60,70 @@ type Hop struct {
 	Dur   time.Duration
 }
 
+// Scratch is the reusable working memory of one shortest-path computation:
+// the hold-end and visited labels plus the priority-queue backing array.
+// None of it survives into the returned Plan, so a Scratch can back any
+// number of sequential Compute calls without reallocating. A Scratch must
+// not be shared between concurrent computations; give each worker its own.
+type Scratch struct {
+	holdEnd []simtime.Instant
+	done    []bool
+	pq      []heapEntry
+}
+
+// NewScratch returns an empty Scratch; its buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
 // Compute runs the adapted Dijkstra for one item against the current state.
-// The state is only read.
+// The state is only read. It is shorthand for NewScratch().Compute with no
+// recycled plan; hot paths should hold a Scratch and recycle Plans instead.
 func Compute(st *state.State, item model.ItemID) *Plan {
+	var s Scratch
+	return s.Compute(st, item, nil)
+}
+
+// Compute runs the adapted Dijkstra for one item against the current state,
+// drawing working memory from the Scratch. The state is only read. If reuse
+// is non-nil its slices are recycled for the returned Plan (which may or
+// may not be reuse itself); the caller must no longer use reuse afterwards.
+func (s *Scratch) Compute(st *state.State, item model.ItemID, reuse *Plan) *Plan {
 	sc := st.Scenario()
 	net := sc.Network
 	m := net.NumMachines()
 	size := sc.Item(item).SizeBytes
 
-	p := &Plan{
-		Item:    item,
-		Arrival: make([]simtime.Instant, m),
-		Pred:    make([]model.MachineID, m),
-		Via:     make([]model.LinkID, m),
-		Start:   make([]simtime.Instant, m),
-		Dur:     make([]time.Duration, m),
+	p := reuse
+	if p == nil {
+		p = &Plan{}
 	}
+	p.Item = item
+	p.Arrival = growSlice(p.Arrival, m)
+	p.Pred = growSlice(p.Pred, m)
+	p.Via = growSlice(p.Via, m)
+	p.Start = growSlice(p.Start, m)
+	p.Dur = growSlice(p.Dur, m)
+
 	// holdEnd[u] is when u's copy (existing or planned) disappears; the
 	// latest instant a transfer out of u may still be in flight.
-	holdEnd := make([]simtime.Instant, m)
+	s.holdEnd = growSlice(s.holdEnd, m)
+	s.done = growSlice(s.done, m)
+	s.pq = s.pq[:0]
+	holdEnd, done := s.holdEnd, s.done
+
 	for u := range p.Arrival {
 		p.Arrival[u] = simtime.Never
 		p.Pred[u] = NoMachine
 		p.Via[u] = NoLink
+		done[u] = false
 	}
-	pq := &instantHeap{}
 	for _, h := range st.Holders(item) {
 		p.Arrival[h.Machine] = h.Avail
 		holdEnd[h.Machine] = h.End
-		heap.Push(pq, heapEntry{at: h.Avail, machine: h.Machine})
+		s.push(heapEntry{at: h.Avail, machine: h.Machine})
 	}
 
-	done := make([]bool, m)
-	for pq.Len() > 0 {
-		e := heap.Pop(pq).(heapEntry)
+	for len(s.pq) > 0 {
+		e := s.pop()
 		u := e.machine
 		if done[u] || e.at != p.Arrival[u] {
 			continue // stale entry
@@ -132,11 +167,20 @@ func Compute(st *state.State, item model.ItemID) *Plan {
 				p.Start[v] = slot
 				p.Dur[v] = d
 				holdEnd[v] = hold.End
-				heap.Push(pq, heapEntry{at: arrival, machine: v})
+				s.push(heapEntry{at: arrival, machine: v})
 			}
 		}
 	}
 	return p
+}
+
+// growSlice returns s resized to n elements, reusing its backing array when
+// it is large enough. Contents are unspecified; callers reinitialize.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
 }
 
 // Reachable reports whether a copy can reach machine m in the current
@@ -155,55 +199,103 @@ func (p *Plan) PathTo(m model.MachineID) ([]Hop, bool) {
 	if !p.Reachable(m) {
 		return nil, false
 	}
-	var rev []Hop
+	n := 0
 	for v := m; p.Pred[v] != NoMachine; v = p.Pred[v] {
-		rev = append(rev, Hop{
+		n++
+	}
+	if n == 0 {
+		return nil, true
+	}
+	hops := make([]Hop, n)
+	for v := m; p.Pred[v] != NoMachine; v = p.Pred[v] {
+		n--
+		hops[n] = Hop{
 			Link:  p.Via[v],
 			From:  p.Pred[v],
 			To:    v,
 			Start: p.Start[v],
 			Dur:   p.Dur[v],
-		})
+		}
 	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
-	}
-	return rev, true
+	return hops, true
 }
 
 // FirstHopTo returns the first transfer on the planned path to machine m:
 // the hop out of the root holder. ok is false when m is unreachable or
-// already holds the item.
+// already holds the item. It walks the predecessor chain directly and never
+// allocates.
 func (p *Plan) FirstHopTo(m model.MachineID) (Hop, bool) {
-	hops, ok := p.PathTo(m)
-	if !ok || len(hops) == 0 {
+	if !p.Reachable(m) || p.Pred[m] == NoMachine {
 		return Hop{}, false
 	}
-	return hops[0], true
+	v := m
+	for p.Pred[p.Pred[v]] != NoMachine {
+		v = p.Pred[v]
+	}
+	return Hop{
+		Link:  p.Via[v],
+		From:  p.Pred[v],
+		To:    v,
+		Start: p.Start[v],
+		Dur:   p.Dur[v],
+	}, true
 }
 
+// heapEntry is one tentative label in the priority queue. Entries are
+// totally ordered — a machine is re-pushed only when its arrival strictly
+// improves, so (at, machine) pairs are unique — which makes the pop order
+// (and therefore the forest) independent of the heap implementation.
 type heapEntry struct {
 	at      simtime.Instant
 	machine model.MachineID
 }
 
-type instantHeap []heapEntry
-
-func (h instantHeap) Len() int { return len(h) }
-func (h instantHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].machine < h[j].machine
+	return a.machine < b.machine
 }
-func (h instantHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
-func (h *instantHeap) Push(x any) { *h = append(*h, x.(heapEntry)) }
+// push and pop implement a binary min-heap directly on the Scratch's
+// backing array: container/heap would box every entry into an interface,
+// allocating once per push on the hottest loop in the scheduler.
+func (s *Scratch) push(e heapEntry) {
+	h := append(s.pq, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	s.pq = h
+}
 
-func (h *instantHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (s *Scratch) pop() heapEntry {
+	h := s.pq
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && entryLess(h[r], h[l]) {
+			least = r
+		}
+		if !entryLess(h[least], h[i]) {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	s.pq = h
+	return top
 }

@@ -1,0 +1,31 @@
+#!/bin/sh
+# bench_baseline.sh — run the scheduling-hot-path benchmarks and emit
+# BENCH_core.json: one record per benchmark with ns/op, B/op, and
+# allocs/op, so successive PRs have a perf trajectory to regress against.
+#
+# Each record keeps a "baseline" block: the first run's numbers. When
+# BENCH_core.json already exists, a benchmark's baseline is carried over
+# unchanged and only "current" is refreshed, so the file always shows
+# before/after for the lifetime of the benchmark. Delete the file (or a
+# record) to re-baseline.
+#
+# Usage: scripts/bench_baseline.sh [output.json]
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 1s)
+#   BENCH      benchmark regexp (default all in the measured packages)
+set -eu
+
+out=${1:-BENCH_core.json}
+benchtime=${BENCHTIME:-1s}
+bench=${BENCH:-.}
+pkgs="./internal/core/ ./internal/dijkstra/"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "running benchmarks (-bench=$bench -benchtime=$benchtime) ..." >&2
+# shellcheck disable=SC2086
+go test -run='^$' -bench="$bench" -benchmem -benchtime="$benchtime" $pkgs > "$tmp"
+
+go run ./scripts/benchjson -in "$tmp" -out "$out"
+echo "wrote $out" >&2

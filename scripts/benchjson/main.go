@@ -1,0 +1,141 @@
+// Command benchjson converts `go test -bench -benchmem` output into the
+// BENCH_core.json perf-trajectory file. Each benchmark record carries a
+// frozen "baseline" (its numbers the first time it was ever recorded) and
+// a "current" block refreshed on every run, so the file always shows
+// before/after across PRs. It is stdlib-only and invoked by
+// scripts/bench_baseline.sh (see `make bench-json`).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one benchmark observation.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Record pairs a benchmark's first-ever numbers with its latest.
+type Record struct {
+	Name     string      `json:"name"`
+	Baseline Measurement `json:"baseline"`
+	Current  Measurement `json:"current"`
+}
+
+// File is the BENCH_core.json schema.
+type File struct {
+	Note       string   `json:"note"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkScheduleParallel/P4-8  12  9876 ns/op  123 B/op  45 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9]+) B/op)?(?:\s+([0-9]+) allocs/op)?`)
+
+func main() {
+	in := flag.String("in", "", "go test -bench output file (default stdin)")
+	out := flag.String("out", "BENCH_core.json", "JSON file to write (existing baselines are preserved)")
+	flag.Parse()
+	if err := run(*in, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath, outPath string) error {
+	r := os.Stdin
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	var cpu string
+	current := map[string]Measurement{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		meas := Measurement{NsPerOp: atof(m[2]), BytesPerOp: atoi(m[3]), AllocsPerOp: atoi(m[4])}
+		if _, seen := current[name]; !seen {
+			order = append(order, name)
+		}
+		current[name] = meas
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	baselines := map[string]Measurement{}
+	if prev, err := os.ReadFile(outPath); err == nil {
+		var pf File
+		if err := json.Unmarshal(prev, &pf); err != nil {
+			return fmt.Errorf("existing %s is not valid: %w", outPath, err)
+		}
+		for _, rec := range pf.Benchmarks {
+			baselines[rec.Name] = rec.Baseline
+		}
+	}
+
+	sort.Strings(order)
+	out := File{
+		Note: "Scheduling hot-path benchmarks (internal/core, internal/dijkstra). " +
+			"'baseline' is frozen at a benchmark's first recording; 'current' is the " +
+			"latest run via `make bench-json`. Delete a record (or the file) to re-baseline.",
+		CPU: cpu,
+	}
+	for _, name := range order {
+		base, ok := baselines[name]
+		if !ok {
+			base = current[name]
+		}
+		out.Benchmarks = append(out.Benchmarks, Record{Name: name, Baseline: base, Current: current[name]})
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}
+
+func atof(s string) float64 {
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+func atoi(s string) int64 {
+	if s == "" {
+		return 0
+	}
+	v, _ := strconv.ParseInt(s, 10, 64)
+	return v
+}
