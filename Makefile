@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json cover study examples clean
+.PHONY: all build vet test test-short race bench bench-json cover cover-check fuzz study examples clean
 
 all: build vet test
 
@@ -36,6 +36,17 @@ bench-json:
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
+
+# The CI coverage ratchet: fails when total statement coverage drops below
+# scripts/coverage_floor.txt.
+cover-check:
+	sh scripts/coverage_check.sh
+
+# The CI fuzz lane: 30 seconds per fuzz target.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/scenario/ -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/validator/ -run='^$$' -fuzz=FuzzValidateRoundTrip -fuzztime=$(FUZZTIME)
 
 # Reproduce the paper's full simulation study (40 cases, both weightings,
 # all extension sweeps). Takes a few minutes on one core.

@@ -10,12 +10,16 @@
 //	         [-weights 1,10,100|1,5,10] [-scheduler heuristic|priority_first|
 //	          random_dijkstra|single_dij_random]
 //	         [-transfers] [-timeline] [-explain N] [-parallel N]
+//	         [-metrics-out FILE] [-trace-out FILE] [-pprof-addr ADDR]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -27,6 +31,7 @@ import (
 	"datastaging/internal/explain"
 	"datastaging/internal/gen"
 	"datastaging/internal/model"
+	"datastaging/internal/obs"
 	"datastaging/internal/report"
 	"datastaging/internal/scenario"
 	"datastaging/internal/trace"
@@ -55,8 +60,34 @@ func run(args []string, out io.Writer) error {
 	explainN := fs.Int("explain", 0, "diagnose up to N unsatisfied requests (why each went unserved)")
 	csvOut := fs.String("csvout", "", "write the transfer schedule as CSV to this file")
 	parallel := fs.Int("parallel", 0, "worker goroutines for forest replanning inside the run (0 = GOMAXPROCS)")
+	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot to this file after the run")
+	traceOut := fs.String("trace-out", "", "stream scheduling events to this file as JSON lines")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof-addr: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(out, "pprof: http://%s/debug/pprof/\n", ln.Addr())
+		go http.Serve(ln, nil) //nolint:errcheck // best-effort debug endpoint
+	}
+	var o *obs.Obs
+	var traceSink *obs.JSONLSink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		traceSink = obs.NewJSONLSink(f)
+		o = obs.NewTraced(traceSink)
+	} else if *metricsOut != "" {
+		o = obs.New()
 	}
 
 	sc, err := loadScenario(*inPath, *seed)
@@ -76,6 +107,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		cfg.Parallelism = *parallel
+		cfg.Obs = o
 		if err := cfg.Validate(); err != nil {
 			return err
 		}
@@ -110,6 +142,17 @@ func run(args []string, out io.Writer) error {
 	m := eval.Measure(sc, res, w)
 	upper := bounds.Upper(sc, w)
 	possible, _ := bounds.PossibleSatisfy(sc, w)
+	if o != nil {
+		// Exact values, not rounded: the snapshot is the machine-readable
+		// record of the run, and run.weighted_value must equal the measured
+		// objective bit for bit.
+		o.Gauge("run.weighted_value").Set(m.WeightedValue)
+		o.Gauge("run.satisfied_requests").Set(float64(m.SatisfiedCount))
+		o.Gauge("run.total_requests").Set(float64(m.TotalRequests))
+		o.Gauge("run.transfers").Set(float64(m.Transfers))
+		o.Gauge("run.upper_bound").Set(upper)
+		o.Gauge("run.possible_satisfy").Set(possible)
+	}
 	fmt.Fprintf(out, "scenario:  %s (%d machines, %d links, %d items, %d requests)\n",
 		sc.Name, sc.Network.NumMachines(), len(sc.Network.Links), len(sc.Items), sc.NumRequests())
 	fmt.Fprintf(out, "value:     %.1f  (possible_satisfy %.1f, upper_bound %.1f)\n",
@@ -204,6 +247,35 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			fmt.Fprint(out, rep.Format(sc))
+		}
+	}
+
+	if o != nil {
+		fmt.Fprintln(out, "\nmetrics:")
+		snap := o.Snapshot()
+		mh, mrows := report.MetricsRows(snap)
+		if err := report.Table(out, mh, mrows); err != nil {
+			return err
+		}
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				return err
+			}
+			if err := snap.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "\n(metrics json: %s)\n", *metricsOut)
+		}
+		if traceSink != nil {
+			if err := traceSink.Close(); err != nil {
+				return fmt.Errorf("-trace-out: %w", err)
+			}
+			fmt.Fprintf(out, "(event trace: %s, %d events)\n", *traceOut, o.Trace().Total())
 		}
 	}
 	return nil

@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"datastaging/internal/core"
+	"datastaging/internal/eval"
 	"datastaging/internal/gen"
 	"datastaging/internal/model"
 )
@@ -151,5 +153,100 @@ func TestRunWritesTransfersCSV(t *testing.T) {
 	}
 	if len(strings.Split(string(data), "\n")) < 10 {
 		t.Error("csv suspiciously short for a paper-scale run")
+	}
+}
+
+// TestRunMetricsSnapshotMatchesResult is the acceptance check for the
+// observability wiring: the JSON snapshot -metrics-out emits must carry a
+// run.weighted_value gauge that equals the run's weighted objective —
+// recomputed here independently from the same seed — exactly, not
+// approximately.
+func TestRunMetricsSnapshotMatchesResult(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	var buf bytes.Buffer
+	err := run([]string{"-seed", "11", "-metrics-out", metricsPath, "-trace-out", tracePath}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64   `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+
+	// Re-run the same configuration (defaults: full_one/C4 at log10=2,
+	// weights 1,10,100) and recompute the objective independently.
+	sc := gen.MustGenerate(gen.Default(), 11)
+	w := model.Weights1x10x100
+	cfg := core.Config{Heuristic: core.FullPathOneDest, Criterion: core.C4,
+		EU: core.EUFromLog10(2), Weights: w}
+	res, err := core.Schedule(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := eval.Measure(sc, res, w)
+	if got := snap.Gauges["run.weighted_value"]; got != m.WeightedValue {
+		t.Errorf("run.weighted_value = %v, independent recomputation = %v", got, m.WeightedValue)
+	}
+	if got := snap.Gauges["run.satisfied_requests"]; got != float64(len(res.Satisfied)) {
+		t.Errorf("run.satisfied_requests = %v, want %d", got, len(res.Satisfied))
+	}
+	if got := snap.Counters["core.commits_total"]; got != int64(res.Stats.Commits) {
+		t.Errorf("core.commits_total = %d, want %d", got, res.Stats.Commits)
+	}
+	if got := snap.Counters["core.requests_satisfied_total"]; got != int64(len(res.Satisfied)) {
+		t.Errorf("core.requests_satisfied_total = %d, want %d", got, len(res.Satisfied))
+	}
+
+	// The trace file is JSONL: every line decodes to an event, and the
+	// booked-transfer lines agree with the schedule size.
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	booked := 0
+	lines := strings.Split(strings.TrimSpace(string(traceData)), "\n")
+	for i, line := range lines {
+		var e struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("trace line %d is not JSON: %v", i, err)
+		}
+		if e.Kind == "transfer_booked" {
+			booked++
+		}
+	}
+	if booked != len(res.Transfers) {
+		t.Errorf("%d transfer_booked events, schedule has %d transfers", booked, len(res.Transfers))
+	}
+
+	if !strings.Contains(buf.String(), "metrics:") {
+		t.Error("metrics table missing from output")
+	}
+}
+
+func TestRunPprofEndpointServes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-seed", "3", "-pprof-addr", "127.0.0.1:0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "pprof: http://127.0.0.1:") {
+		t.Fatalf("pprof address not announced:\n%s", out)
+	}
+	// The listener is closed when run returns; this test pins flag parsing
+	// and binding, TestMain-level serving is covered by the line above.
+	if err := run([]string{"-seed", "3", "-pprof-addr", "not-an-address"}, &buf); err == nil {
+		t.Error("bogus pprof address accepted")
 	}
 }

@@ -10,12 +10,16 @@
 //	         [-figures 2,3,4,5] [-extras] [-baseline] [-congestion]
 //	         [-csv DIR] [-height 16] [-quiet]
 //	         [-parallel N] [-plan-parallel N]
+//	         [-metrics-out FILE] [-trace-out FILE] [-pprof-addr ADDR]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -26,6 +30,7 @@ import (
 	"datastaging/internal/experiment"
 	"datastaging/internal/gen"
 	"datastaging/internal/model"
+	"datastaging/internal/obs"
 	"datastaging/internal/report"
 )
 
@@ -54,6 +59,12 @@ type options struct {
 	quiet        bool
 	parallel     int
 	planParallel int
+	metricsOut   string
+	traceOut     string
+	pprofAddr    string
+	// obs aggregates metrics (and optionally events) over every run of the
+	// invocation; nil when no observability flag was given.
+	obs *obs.Obs
 }
 
 func run(args []string, out io.Writer) error {
@@ -76,8 +87,33 @@ func run(args []string, out io.Writer) error {
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress progress output")
 	fs.IntVar(&o.parallel, "parallel", 0, "concurrent scheduler runs (0 = GOMAXPROCS)")
 	fs.IntVar(&o.planParallel, "plan-parallel", 0, "worker goroutines for forest replanning inside each run (0 = serial; raise for the single-threaded sweeps)")
+	fs.StringVar(&o.metricsOut, "metrics-out", "", "write a JSON metrics snapshot aggregated over the whole study to this file")
+	fs.StringVar(&o.traceOut, "trace-out", "", "stream scheduling events to this file as JSON lines (interleaved across concurrent runs; use -parallel 1 for a readable trace)")
+	fs.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if o.pprofAddr != "" {
+		ln, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof-addr: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(out, "pprof: http://%s/debug/pprof/\n", ln.Addr())
+		go http.Serve(ln, nil) //nolint:errcheck // best-effort debug endpoint
+	}
+	var traceSink *obs.JSONLSink
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		traceSink = obs.NewJSONLSink(f)
+		o.obs = obs.NewTraced(traceSink)
+	} else if o.metricsOut != "" {
+		o.obs = obs.New()
 	}
 
 	schemes, err := weightSchemes(o.weights)
@@ -125,6 +161,28 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if o.obs != nil {
+		if o.metricsOut != "" {
+			f, err := os.Create(o.metricsOut)
+			if err != nil {
+				return err
+			}
+			if err := o.obs.Snapshot().WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "\n(metrics json: %s)\n", o.metricsOut)
+		}
+		if traceSink != nil {
+			if err := traceSink.Close(); err != nil {
+				return fmt.Errorf("-trace-out: %w", err)
+			}
+			fmt.Fprintf(out, "(event trace: %s, %d events)\n", o.traceOut, o.obs.Trace().Total())
+		}
+	}
 	return nil
 }
 
@@ -132,7 +190,7 @@ func runArrivals(out io.Writer, o options, w model.Weights) error {
 	if !o.quiet {
 		fmt.Fprintln(os.Stderr, "running online-arrival sweep...")
 	}
-	opts := experiment.Options{Params: gen.Default(), NumCases: o.cases, BaseSeed: o.seed, Weights: w, PlanParallelism: o.planParallel}
+	opts := experiment.Options{Params: gen.Default(), NumCases: o.cases, BaseSeed: o.seed, Weights: w, PlanParallelism: o.planParallel, Obs: o.obs}
 	pair := core.Pair{Heuristic: core.FullPathOneDest, Criterion: core.C4}
 	points, err := experiment.ArrivalSweep(opts, []float64{0, 0.25, 0.5, 0.75, 1}, pair, core.EUFromLog10(2))
 	if err != nil {
@@ -147,7 +205,7 @@ func runSerial(out io.Writer, o options, w model.Weights) error {
 	if !o.quiet {
 		fmt.Fprintln(os.Stderr, "running parallel-vs-serial comparison...")
 	}
-	opts := experiment.Options{Params: gen.Default(), NumCases: o.cases, BaseSeed: o.seed, Weights: w, PlanParallelism: o.planParallel}
+	opts := experiment.Options{Params: gen.Default(), NumCases: o.cases, BaseSeed: o.seed, Weights: w, PlanParallelism: o.planParallel, Obs: o.obs}
 	pair := core.Pair{Heuristic: core.FullPathOneDest, Criterion: core.C4}
 	pt, err := experiment.SerialComparison(opts, pair, core.EUFromLog10(2))
 	if err != nil {
@@ -169,7 +227,7 @@ func runGamma(out io.Writer, o options, w model.Weights) error {
 	if !o.quiet {
 		fmt.Fprintln(os.Stderr, "running gamma ablation...")
 	}
-	opts := experiment.Options{Params: gen.Default(), NumCases: o.cases, BaseSeed: o.seed, Weights: w, PlanParallelism: o.planParallel}
+	opts := experiment.Options{Params: gen.Default(), NumCases: o.cases, BaseSeed: o.seed, Weights: w, PlanParallelism: o.planParallel, Obs: o.obs}
 	pair := core.Pair{Heuristic: core.FullPathOneDest, Criterion: core.C4}
 	gammas := []time.Duration{0, time.Minute, 6 * time.Minute, 30 * time.Minute, 2 * time.Hour}
 	points, err := experiment.GammaSweep(opts, gammas, pair, core.EUFromLog10(2))
@@ -185,7 +243,7 @@ func runFailures(out io.Writer, o options, w model.Weights) error {
 	if !o.quiet {
 		fmt.Fprintln(os.Stderr, "running failure resilience sweep...")
 	}
-	opts := experiment.Options{Params: gen.Default(), NumCases: o.cases, BaseSeed: o.seed, Weights: w, PlanParallelism: o.planParallel}
+	opts := experiment.Options{Params: gen.Default(), NumCases: o.cases, BaseSeed: o.seed, Weights: w, PlanParallelism: o.planParallel, Obs: o.obs}
 	pair := core.Pair{Heuristic: core.FullPathOneDest, Criterion: core.C4}
 	points, err := experiment.FailureSweep(opts, []int{0, 5, 15, 40, 100}, pair, core.EUFromLog10(2))
 	if err != nil {
@@ -238,6 +296,7 @@ func runStudy(o options, ws weightScheme) (*experiment.Result, error) {
 		Weights:         ws.weights,
 		Parallelism:     o.parallel,
 		PlanParallelism: o.planParallel,
+		Obs:             o.obs,
 	}
 	if o.extensions {
 		opts.Pairs = core.PairsWithExtensions()
@@ -341,6 +400,7 @@ func runCongestion(out io.Writer, o options, w model.Weights) error {
 		BaseSeed:        o.seed,
 		Weights:         w,
 		PlanParallelism: o.planParallel,
+		Obs:             o.obs,
 	}
 	pair := core.Pair{Heuristic: core.FullPathOneDest, Criterion: core.C4}
 	cr, err := experiment.CongestionSweep(opts, []int{10, 20, 30, 40, 50, 60}, pair, core.EUFromLog10(2))

@@ -7,6 +7,7 @@ import (
 	"datastaging/internal/dijkstra"
 	"datastaging/internal/gen"
 	"datastaging/internal/model"
+	"datastaging/internal/obs"
 	"datastaging/internal/state"
 )
 
@@ -56,6 +57,26 @@ func BenchmarkScheduleParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkScheduleObserved measures the fully instrumented scheduler —
+// metrics registry plus tracer with a discard sink — against
+// BenchmarkScheduleWithPlanCache (the same run with observability
+// disabled). The gap is the total price of enabled observability; the
+// disabled run must stay within noise of its pre-obs baseline (the
+// acceptance bound BENCH_core.json tracks).
+func BenchmarkScheduleObserved(b *testing.B) {
+	sc := gen.MustGenerate(gen.Default(), 42)
+	o := obs.NewTraced(obs.Discard)
+	cfg := Config{Heuristic: FullPathOneDest, Criterion: C4, EU: EUFromLog10(2),
+		Weights: model.Weights1x10x100, Obs: o}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(sc, cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"datastaging/internal/model"
+	"datastaging/internal/obs"
 )
 
 // Heuristic selects which of the paper's three scheduling strategies to run.
@@ -148,6 +149,18 @@ type Config struct {
 	// already fan out across whole scheduling runs (internal/experiment)
 	// should leave their per-run configs at 1 to avoid oversubscription.
 	Parallelism int
+	// Paranoid drops every cached forest on every commit, reproducing the
+	// paper's re-run-Dijkstra-each-iteration implementation. The schedule
+	// produced is identical to the conflict-tracking cache (the
+	// equivalence suites prove it), only slower; this is a debugging and
+	// testing knob, never a production setting.
+	Paranoid bool
+	// Obs, when non-nil, receives the run's metrics, phase timings, and
+	// scheduling events (see internal/obs and DESIGN.md "Observability").
+	// Purely observational: it never changes the schedule. Nil disables
+	// instrumentation at approximately zero cost. An Obs may be shared by
+	// concurrent runs; all instruments are atomic.
+	Obs *obs.Obs
 }
 
 // workers resolves the replan parallelism: Parallelism, or GOMAXPROCS when

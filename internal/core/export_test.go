@@ -6,5 +6,6 @@ import "datastaging/internal/scenario"
 // implementation the paper describes. The plan cache must produce
 // byte-identical schedules.
 func scheduleParanoid(sc *scenario.Scenario, cfg Config) (*Result, error) {
-	return schedule(sc, cfg, true)
+	cfg.Paranoid = true
+	return Schedule(sc, cfg)
 }

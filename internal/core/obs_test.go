@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"datastaging/internal/gen"
+	"datastaging/internal/model"
+	"datastaging/internal/obs"
+)
+
+func smallParams() gen.Params {
+	p := gen.Default()
+	p.Machines = gen.IntRange{Min: 5, Max: 7}
+	p.RequestsPerMachine = gen.IntRange{Min: 3, Max: 6}
+	return p
+}
+
+// statsFromTrace re-derives every deterministic Stats counter from the
+// emitted event stream. This is the trace/stats equivalence oracle: the
+// two are maintained independently (counters inline in the planner, events
+// through the tracer), so agreement means the trace is a faithful record
+// of the run.
+func statsFromTrace(events []obs.Event) Stats {
+	var st Stats
+	for _, e := range events {
+		switch e.Kind {
+		case obs.EvIteration:
+			st.Iterations++
+		case obs.EvForestComputed:
+			st.DijkstraRuns++
+		case obs.EvForestCacheHit:
+			st.CacheHits++
+		case obs.EvForestInvalidated:
+			if e.Reason == obs.ReasonConflict {
+				st.Invalidations++
+			}
+		case obs.EvTransferBooked:
+			st.Commits++
+		case obs.EvParallelBatch:
+			st.ParallelBatches++
+			st.BatchedRuns += e.N
+		}
+	}
+	return st
+}
+
+// TestQuickTraceStatsEquivalence: for any generated scenario and any
+// heuristic/criterion pair (at any replan parallelism, cached or
+// paranoid), the counters re-derived from the event trace must equal the
+// counters the scheduler reports.
+func TestQuickTraceStatsEquivalence(t *testing.T) {
+	params := smallParams()
+	pairs := PairsWithExtensions()
+	sweep := []EUWeights{EUUrgencyOnly, EUFromLog10(0), EUFromLog10(2), EUPriorityOnly}
+	parallelism := []int{1, 2, 4}
+
+	property := func(seed int64, pairIdx, euIdx, parIdx uint8, paranoid bool) bool {
+		sc := gen.MustGenerate(params, seed%4096)
+		pair := pairs[int(pairIdx)%len(pairs)]
+		mem := &obs.MemorySink{}
+		cfg := Config{
+			Heuristic:   pair.Heuristic,
+			Criterion:   pair.Criterion,
+			EU:          sweep[int(euIdx)%len(sweep)],
+			Weights:     model.Weights1x10x100,
+			Parallelism: parallelism[int(parIdx)%len(parallelism)],
+			Paranoid:    paranoid,
+			Obs:         obs.NewTraced(mem),
+		}
+		res, err := Schedule(sc, cfg)
+		if err != nil {
+			t.Errorf("seed %d %v: %v", seed, pair, err)
+			return false
+		}
+		got := statsFromTrace(mem.Events())
+		want := res.Stats
+		want.ReplanWall = 0 // timing-dependent, not part of the oracle
+		if got != want {
+			t.Errorf("seed %d %v par=%d paranoid=%v:\n  trace-derived %+v\n  reported      %+v",
+				seed, pair, cfg.Parallelism, paranoid, got, want)
+			return false
+		}
+		// The registry must agree with both.
+		snap := cfg.Obs.Snapshot()
+		if snap.Counters["core.commits_total"] != int64(want.Commits) ||
+			snap.Counters["core.dijkstra_runs_total"] != int64(want.DijkstraRuns) ||
+			snap.Counters["core.cache_hits_total"] != int64(want.CacheHits) ||
+			snap.Counters["core.invalidations_total"] != int64(want.Invalidations) ||
+			snap.Counters["core.iterations_total"] != int64(want.Iterations) ||
+			snap.Counters["core.parallel_batches_total"] != int64(want.ParallelBatches) ||
+			snap.Counters["core.batched_runs_total"] != int64(want.BatchedRuns) {
+			t.Errorf("seed %d %v: registry counters disagree with Stats: %+v vs %+v",
+				seed, pair, snap.Counters, want)
+			return false
+		}
+		// Satisfaction events must match the result's satisfied set.
+		if n := mem.Count(obs.EvRequestSatisfied); n != len(res.Satisfied) {
+			t.Errorf("seed %d %v: %d request_satisfied events, %d satisfied requests",
+				seed, pair, n, len(res.Satisfied))
+			return false
+		}
+		return true
+	}
+	maxCount := 40
+	if testing.Short() {
+		maxCount = 10
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: maxCount}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObsDisabledIsInert pins the zero-config contract: a nil Obs changes
+// nothing about the schedule or the stats.
+func TestObsDisabledIsInert(t *testing.T) {
+	sc := gen.MustGenerate(smallParams(), 3)
+	cfg := Config{Heuristic: FullPathOneDest, Criterion: C4, EU: EUFromLog10(2), Weights: model.Weights1x10x100}
+	plain, err := Schedule(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Obs = obs.NewTraced(&obs.MemorySink{})
+	traced, err := Schedule(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Transfers) != len(traced.Transfers) {
+		t.Fatalf("observability changed the schedule: %d vs %d transfers",
+			len(plain.Transfers), len(traced.Transfers))
+	}
+	for i := range plain.Transfers {
+		if plain.Transfers[i] != traced.Transfers[i] {
+			t.Fatalf("transfer %d differs under observation", i)
+		}
+	}
+	p, tr := plain.Stats, traced.Stats
+	p.ReplanWall, tr.ReplanWall = 0, 0
+	if p != tr {
+		t.Fatalf("observability changed the stats: %+v vs %+v", p, tr)
+	}
+	if plain.Stats.ReplanWall <= 0 {
+		t.Error("ReplanWall not accumulated with observability disabled")
+	}
+}
+
+// TestObsSatisfactionSlack checks the slack histogram sees exactly the
+// satisfied requests, with plausible values.
+func TestObsSatisfactionSlack(t *testing.T) {
+	sc := gen.MustGenerate(smallParams(), 11)
+	o := obs.New()
+	cfg := Config{Heuristic: FullPathAllDests, Criterion: C4, EU: EUFromLog10(2),
+		Weights: model.Weights1x10x100, Obs: o}
+	res, err := Schedule(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := o.Snapshot()
+	h := snap.Histograms["core.satisfaction_slack_seconds"]
+	if h.Count != int64(len(res.Satisfied)) {
+		t.Errorf("slack observations %d != satisfied %d", h.Count, len(res.Satisfied))
+	}
+	if h.Count > 0 && h.Sum < 0 {
+		t.Errorf("negative total slack %v", h.Sum)
+	}
+	if got := snap.Counters["core.requests_satisfied_total"]; got != int64(len(res.Satisfied)) {
+		t.Errorf("requests_satisfied_total = %d, want %d", got, len(res.Satisfied))
+	}
+	// Scratch metrics flushed at end of run.
+	if snap.Counters["dijkstra.computes_total"] <= 0 {
+		t.Error("dijkstra.computes_total not flushed")
+	}
+	if snap.Gauges["dijkstra.heap_high_water"] <= 0 {
+		t.Error("dijkstra.heap_high_water not flushed")
+	}
+	// Replan phase timer must land in the registry and match ReplanWall.
+	rh := snap.Histograms["core.replan_seconds"]
+	if rh.Count == 0 {
+		t.Error("core.replan_seconds histogram empty")
+	}
+	if want := res.Stats.ReplanWall.Seconds(); rh.Sum < 0.5*want || rh.Sum > 2*want+1e-6 {
+		t.Errorf("replan histogram sum %v far from ReplanWall %v", rh.Sum, want)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"datastaging/internal/dijkstra"
 	"datastaging/internal/model"
+	"datastaging/internal/obs"
 	"datastaging/internal/scenario"
 	"datastaging/internal/simtime"
 	"datastaging/internal/state"
@@ -28,8 +29,9 @@ type Stats struct {
 	// Commits is the number of committed transfers (communication steps).
 	Commits int
 	// ReplanWall is the wall-clock time spent computing shortest-path
-	// forests, across both parallel batches and lazy recomputes. Unlike
-	// the counters above it is timing-dependent, not deterministic.
+	// forests, across both parallel batches and lazy recomputes, as
+	// accumulated by the planner's obs.PhaseTimer. Unlike the counters
+	// above it is timing-dependent, not deterministic.
 	ReplanWall time.Duration
 	// ParallelBatches is how many iteration-top replan batches ran on
 	// more than one worker goroutine. Zero when Parallelism is 1.
@@ -82,6 +84,18 @@ type planner struct {
 	// paper's re-run-Dijkstra-each-iteration implementation. Tests compare
 	// it against the conflict-tracking cache to prove they are equivalent.
 	paranoid bool
+
+	// Observability handles, resolved once from cfg.Obs. With cfg.Obs nil
+	// every handle below is nil and each call is a predictable
+	// branch-and-return; only Event construction needs an explicit
+	// tr.Enabled() guard. replanTimer is always usable — it is how
+	// Stats.ReplanWall is accumulated even with observability off.
+	tr          *obs.Tracer
+	replanTimer *obs.PhaseTimer
+	obsOn       bool
+	mIterations, mCommits, mDijkstra, mCacheHits, mInvalidations,
+	mParallelBatches, mBatchedRuns, mCostEvals, mSatisfied *obs.Counter
+	hCandidates, hSlack *obs.Histogram
 }
 
 func newPlanner(sc *scenario.Scenario, cfg Config) *planner {
@@ -92,15 +106,51 @@ func newPlanner(sc *scenario.Scenario, cfg Config) *planner {
 // state.
 func plannerOn(st *state.State, cfg Config) *planner {
 	items := len(st.Scenario().Items)
-	return &planner{
-		st:      st,
-		cfg:     cfg,
-		workers: cfg.workers(),
-		plans:   make([]*dijkstra.Plan, items),
-		fresh:   make([]bool, items),
-		dead:    make([]bool, items),
-		scratch: dijkstra.NewScratch(),
+	p := &planner{
+		st:       st,
+		cfg:      cfg,
+		workers:  cfg.workers(),
+		plans:    make([]*dijkstra.Plan, items),
+		fresh:    make([]bool, items),
+		dead:     make([]bool, items),
+		scratch:  dijkstra.NewScratch(),
+		paranoid: cfg.Paranoid,
 	}
+	o := cfg.Obs
+	p.tr = o.Trace()
+	p.replanTimer = o.Phase("core.replan")
+	if o != nil {
+		p.obsOn = true
+		p.mIterations = o.Counter("core.iterations_total")
+		p.mCommits = o.Counter("core.commits_total")
+		p.mDijkstra = o.Counter("core.dijkstra_runs_total")
+		p.mCacheHits = o.Counter("core.cache_hits_total")
+		p.mInvalidations = o.Counter("core.invalidations_total")
+		p.mParallelBatches = o.Counter("core.parallel_batches_total")
+		p.mBatchedRuns = o.Counter("core.batched_runs_total")
+		p.mCostEvals = o.Counter("core.cost_evaluations_total")
+		p.mSatisfied = o.Counter("core.requests_satisfied_total")
+		p.hCandidates = o.Histogram("core.iteration_candidates", obs.CountBuckets)
+		p.hSlack = o.Histogram("core.satisfaction_slack_seconds", obs.SlackBuckets)
+	}
+	return p
+}
+
+// flushScratchMetrics aggregates the Dijkstra scratch counters (reuse
+// hits, buffer grows, heap high-water) into the registry at end of run.
+func (p *planner) flushScratchMetrics() {
+	if !p.obsOn {
+		return
+	}
+	ds := p.scratch.Stats()
+	for _, s := range p.workerScratch {
+		ds.Add(s.Stats())
+	}
+	o := p.cfg.Obs
+	o.Counter("dijkstra.computes_total").Add(int64(ds.Computes))
+	o.Counter("dijkstra.scratch_reuse_hits_total").Add(int64(ds.ReuseHits()))
+	o.Counter("dijkstra.scratch_grows_total").Add(int64(ds.Grows))
+	o.Gauge("dijkstra.heap_high_water").SetMax(float64(ds.HeapHighWater))
 }
 
 // takeFree pops a recycled Plan for reuse, or nil when none is available.
@@ -115,12 +165,26 @@ func (p *planner) takeFree() *dijkstra.Plan {
 	return pl
 }
 
-// invalidate drops an item's cached forest and recycles the struct.
-func (p *planner) invalidate(item model.ItemID) {
+// invalidate drops an item's cached forest and recycles the struct. The
+// reason is purely observational (traced only when a forest was actually
+// dropped).
+func (p *planner) invalidate(item model.ItemID, why obs.Reason) {
 	if pl := p.plans[item]; pl != nil {
 		p.freePlans = append(p.freePlans, pl)
 		p.plans[item] = nil
 		p.fresh[item] = false
+		if p.tr.Enabled() {
+			p.tr.Emit(obs.Event{Kind: obs.EvForestInvalidated, Item: int(item), Reason: why})
+		}
+	}
+}
+
+// markDead retires an item forever (resources only shrink, so dead items
+// never revive).
+func (p *planner) markDead(item model.ItemID, why obs.Reason) {
+	p.dead[item] = true
+	if p.tr.Enabled() {
+		p.tr.Emit(obs.Event{Kind: obs.EvItemDead, Item: int(item), Reason: why})
 	}
 }
 
@@ -132,16 +196,28 @@ func (p *planner) plan(item model.ItemID) *dijkstra.Plan {
 			// Dijkstra run the serial path would have performed here.
 			p.fresh[item] = false
 			p.stats.DijkstraRuns++
+			p.mDijkstra.Inc()
+			if p.tr.Enabled() {
+				p.tr.Emit(obs.Event{Kind: obs.EvForestComputed, Item: int(item)})
+			}
 		} else {
 			p.stats.CacheHits++
+			p.mCacheHits.Inc()
+			if p.tr.Enabled() {
+				p.tr.Emit(obs.Event{Kind: obs.EvForestCacheHit, Item: int(item)})
+			}
 		}
 		return pl
 	}
-	begin := time.Now()
+	span := p.replanTimer.Start()
 	pl := p.scratch.Compute(p.st, item, p.takeFree())
-	p.stats.ReplanWall += time.Since(begin)
+	span.Stop()
 	p.plans[item] = pl
 	p.stats.DijkstraRuns++
+	p.mDijkstra.Inc()
+	if p.tr.Enabled() {
+		p.tr.Emit(obs.Event{Kind: obs.EvForestComputed, Item: int(item)})
+	}
 	return pl
 }
 
@@ -165,7 +241,7 @@ func (p *planner) prefetch() {
 		if len(p.openRequests(item)) == 0 {
 			// Exactly the dead-marking the candidates pass would do before
 			// computing this item's forest.
-			p.dead[i] = true
+			p.markDead(item, obs.ReasonNoOpenRequests)
 			continue
 		}
 		queue = append(queue, item)
@@ -180,7 +256,7 @@ func (p *planner) prefetch() {
 	}
 	p.reuse = reuse
 
-	begin := time.Now()
+	span := p.replanTimer.Start()
 	workers := min(p.workers, len(queue))
 	for len(p.workerScratch) < workers {
 		p.workerScratch = append(p.workerScratch, dijkstra.NewScratch())
@@ -204,9 +280,14 @@ func (p *planner) prefetch() {
 		}()
 	}
 	wg.Wait()
-	p.stats.ReplanWall += time.Since(begin)
+	span.Stop()
 	p.stats.ParallelBatches++
 	p.stats.BatchedRuns += len(queue)
+	p.mParallelBatches.Inc()
+	p.mBatchedRuns.Add(int64(len(queue)))
+	if p.tr.Enabled() {
+		p.tr.Emit(obs.Event{Kind: obs.EvParallelBatch, N: len(queue)})
+	}
 	for k := range reuse {
 		reuse[k] = nil // drop aliases to plans now owned by the cache
 	}
@@ -247,7 +328,7 @@ func (p *planner) candidates() []candidate {
 		}
 		open := p.openRequests(item)
 		if len(open) == 0 {
-			p.dead[i] = true
+			p.markDead(item, obs.ReasonNoOpenRequests)
 			continue
 		}
 		pl := p.plan(item)
@@ -292,7 +373,7 @@ func (p *planner) candidates() []candidate {
 			// No satisfiable destination now means never: the item's own
 			// arrivals improve only when it is scheduled, which requires a
 			// candidate, and other commits only consume resources.
-			p.dead[i] = true
+			p.markDead(item, obs.ReasonUnsatisfiable)
 		}
 	}
 	p.cands = out
@@ -320,10 +401,14 @@ func (p *planner) commit(item model.ItemID, link model.LinkID, start simtime.Ins
 		return err
 	}
 	p.stats.Commits++
-	p.invalidate(item) // gained a holder; labels can improve
+	p.mCommits.Inc()
+	if p.obsOn {
+		p.observeCommit(item, tr)
+	}
+	p.invalidate(item, obs.ReasonOwner) // gained a holder; labels can improve
 	if p.paranoid {
 		for i := range p.plans {
-			p.invalidate(model.ItemID(i))
+			p.invalidate(model.ItemID(i), obs.ReasonParanoid)
 		}
 		return nil
 	}
@@ -332,11 +417,41 @@ func (p *planner) commit(item model.ItemID, link model.LinkID, start simtime.Ins
 			continue
 		}
 		if p.planConflicts(pl, tr) {
-			p.invalidate(model.ItemID(i))
+			p.invalidate(model.ItemID(i), obs.ReasonConflict)
 			p.stats.Invalidations++
+			p.mInvalidations.Inc()
 		}
 	}
 	return nil
+}
+
+// observeCommit emits the transfer-booked event plus one request-satisfied
+// event per deadline the arrival meets. A machine receives an item at most
+// once, so any request at tr.To with deadline ≥ arrival was satisfied by
+// exactly this transfer.
+func (p *planner) observeCommit(item model.ItemID, tr state.Transfer) {
+	if p.tr.Enabled() {
+		p.tr.Emit(obs.Event{
+			Kind: obs.EvTransferBooked, Item: int(item), Link: int(tr.Link),
+			Machine: int(tr.To), At: int64(tr.Start), Value: tr.Duration.Seconds(),
+		})
+	}
+	it := p.st.Scenario().Item(item)
+	for k := range it.Requests {
+		rq := &it.Requests[k]
+		if rq.Machine != tr.To || tr.Arrival.After(rq.Deadline) {
+			continue
+		}
+		slack := rq.Deadline.Sub(tr.Arrival).Seconds()
+		p.mSatisfied.Inc()
+		p.hSlack.Observe(slack)
+		if p.tr.Enabled() {
+			p.tr.Emit(obs.Event{
+				Kind: obs.EvRequestSatisfied, Item: int(item), Req: k,
+				Machine: int(tr.To), At: int64(tr.Arrival), Value: slack,
+			})
+		}
+	}
 }
 
 // planConflicts reports whether a committed transfer can have changed the

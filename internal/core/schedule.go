@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"datastaging/internal/model"
+	"datastaging/internal/obs"
 	"datastaging/internal/scenario"
 	"datastaging/internal/simtime"
 	"datastaging/internal/state"
@@ -38,7 +39,12 @@ func (r *Result) WeightedValue(sc *scenario.Scenario, w model.Weights) float64 {
 // scenario and returns the resulting communication schedule. The scenario
 // is only read; every run starts from the pristine resource state.
 func Schedule(sc *scenario.Scenario, cfg Config) (*Result, error) {
-	return schedule(sc, cfg, false)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	begin := time.Now()
+	p := newPlanner(sc, cfg)
+	return p.run(cfg, begin)
 }
 
 // ScheduleState runs the heuristic loop against an existing state,
@@ -54,22 +60,14 @@ func ScheduleState(st *state.State, cfg Config) (*Result, error) {
 	return p.run(cfg, begin)
 }
 
-func schedule(sc *scenario.Scenario, cfg Config, paranoid bool) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	begin := time.Now()
-	p := newPlanner(sc, cfg)
-	p.paranoid = paranoid
-	return p.run(cfg, begin)
-}
-
 func (p *planner) run(cfg Config, begin time.Time) (*Result, error) {
 	for {
 		cands := p.candidates()
 		if len(cands) == 0 {
 			break
 		}
+		p.hCandidates.Observe(float64(len(cands)))
+		p.mCostEvals.Add(int64(len(cands)))
 		bi, bd := selectBest(cands, cfg)
 		c := &cands[bi]
 		var err error
@@ -88,11 +86,17 @@ func (p *planner) run(cfg Config, begin time.Time) (*Result, error) {
 			return nil, fmt.Errorf("core: %v iteration %d: %w", cfg.Heuristic, p.stats.Iterations, err)
 		}
 		p.stats.Iterations++
+		p.mIterations.Inc()
+		if p.tr.Enabled() {
+			p.tr.Emit(obs.Event{Kind: obs.EvIteration, N: len(cands)})
+		}
 	}
 	return p.result(cfg, begin), nil
 }
 
 func (p *planner) result(cfg Config, begin time.Time) *Result {
+	p.stats.ReplanWall = p.replanTimer.Total()
+	p.flushScratchMetrics()
 	return &Result{
 		Config:    cfg,
 		Transfers: p.st.Transfers(),

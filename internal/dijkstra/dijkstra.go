@@ -69,10 +69,41 @@ type Scratch struct {
 	holdEnd []simtime.Instant
 	done    []bool
 	pq      []heapEntry
+	stats   ScratchStats
 }
 
 // NewScratch returns an empty Scratch; its buffers grow on first use.
 func NewScratch() *Scratch { return &Scratch{} }
+
+// ScratchStats counts what a Scratch's lifetime of computations cost: how
+// many Compute calls ran, how many of those had to grow a label buffer
+// (the complement is the allocation-free reuse hits the planner's
+// steady-state depends on), and the high-water mark of the priority queue
+// (the forest computation's only dynamic working set). The planner
+// aggregates these into the obs registry after a run.
+type ScratchStats struct {
+	// Computes is the number of Compute calls served.
+	Computes int
+	// Grows is how many of those calls reallocated a label buffer; the
+	// first call on a fresh Scratch always grows.
+	Grows int
+	// HeapHighWater is the largest priority-queue length ever reached.
+	HeapHighWater int
+}
+
+// ReuseHits is Computes minus Grows: calls served entirely from recycled
+// buffers.
+func (s ScratchStats) ReuseHits() int { return s.Computes - s.Grows }
+
+// Add accumulates other into s (high-water marks take the max).
+func (s *ScratchStats) Add(other ScratchStats) {
+	s.Computes += other.Computes
+	s.Grows += other.Grows
+	s.HeapHighWater = max(s.HeapHighWater, other.HeapHighWater)
+}
+
+// Stats returns the Scratch's lifetime counters.
+func (s *Scratch) Stats() ScratchStats { return s.stats }
 
 // Compute runs the adapted Dijkstra for one item against the current state.
 // The state is only read. It is shorthand for NewScratch().Compute with no
@@ -91,6 +122,11 @@ func (s *Scratch) Compute(st *state.State, item model.ItemID, reuse *Plan) *Plan
 	net := sc.Network
 	m := net.NumMachines()
 	size := sc.Item(item).SizeBytes
+
+	s.stats.Computes++
+	if cap(s.holdEnd) < m {
+		s.stats.Grows++
+	}
 
 	p := reuse
 	if p == nil {
@@ -262,6 +298,9 @@ func entryLess(a, b heapEntry) bool {
 // allocating once per push on the hottest loop in the scheduler.
 func (s *Scratch) push(e heapEntry) {
 	h := append(s.pq, e)
+	if len(h) > s.stats.HeapHighWater {
+		s.stats.HeapHighWater = len(h)
+	}
 	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2

@@ -58,6 +58,43 @@ func assertPlansEqual(t *testing.T, seed int64, item model.ItemID, got, want *di
 	}
 }
 
+// TestScratchStats pins the observability counters: the first compute on a
+// fresh scratch grows, subsequent same-size computes are reuse hits, and
+// the heap high-water mark is positive whenever any label was pushed.
+func TestScratchStats(t *testing.T) {
+	sc := gen.MustGenerate(gen.Default(), 7)
+	st := state.New(sc)
+	s := dijkstra.NewScratch()
+	var pl *dijkstra.Plan
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		pl = s.Compute(st, model.ItemID(i%len(sc.Items)), pl)
+	}
+	stats := s.Stats()
+	if stats.Computes != rounds {
+		t.Errorf("Computes = %d, want %d", stats.Computes, rounds)
+	}
+	if stats.Grows != 1 {
+		t.Errorf("Grows = %d, want 1 (machine count is constant)", stats.Grows)
+	}
+	if stats.ReuseHits() != rounds-1 {
+		t.Errorf("ReuseHits = %d, want %d", stats.ReuseHits(), rounds-1)
+	}
+	if stats.HeapHighWater <= 0 {
+		t.Errorf("HeapHighWater = %d, want > 0", stats.HeapHighWater)
+	}
+	if stats.HeapHighWater > sc.Network.NumMachines()*len(sc.Network.Links) {
+		t.Errorf("HeapHighWater = %d is implausibly large", stats.HeapHighWater)
+	}
+
+	var agg dijkstra.ScratchStats
+	agg.Add(stats)
+	agg.Add(dijkstra.ScratchStats{Computes: 2, Grows: 1, HeapHighWater: 1})
+	if agg.Computes != rounds+2 || agg.Grows != 2 || agg.HeapHighWater != stats.HeapHighWater {
+		t.Errorf("Add aggregated to %+v", agg)
+	}
+}
+
 // TestFirstHopToMatchesPathTo pins the pred-chain walk against the full
 // path materialization across a paper-scale scenario.
 func TestFirstHopToMatchesPathTo(t *testing.T) {

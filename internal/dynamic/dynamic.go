@@ -35,6 +35,7 @@ import (
 
 	"datastaging/internal/core"
 	"datastaging/internal/model"
+	"datastaging/internal/obs"
 	"datastaging/internal/scenario"
 	"datastaging/internal/simtime"
 	"datastaging/internal/state"
@@ -111,6 +112,7 @@ func Simulate(sc *scenario.Scenario, cfg core.Config, events []Event) (*Outcome,
 	if err := replan(st, cfg, out); err != nil {
 		return nil, err
 	}
+	observeEpoch(cfg.Obs, 0, len(out.Aborted))
 
 	for i := 0; i < len(evs); {
 		at := evs[i].At
@@ -124,10 +126,12 @@ func Simulate(sc *scenario.Scenario, cfg core.Config, events []Event) (*Outcome,
 				}
 			}
 		}
+		abortedBefore := len(out.Aborted)
 		st = rebuild(sc, st.Transfers(), withheld, outages, at, out)
 		if err := replan(st, cfg, out); err != nil {
 			return nil, err
 		}
+		observeEpoch(cfg.Obs, at, len(out.Aborted)-abortedBefore)
 	}
 
 	out.Transfers = st.Transfers()
@@ -179,6 +183,21 @@ func rebuild(sc *scenario.Scenario, history []state.Transfer,
 	}
 	st.SetFloor(floor)
 	return st
+}
+
+// observeEpoch records one completed epoch replan: a counter per replan,
+// a counter for transfers newly aborted at this epoch, and an
+// EvEpochReplan event carrying the epoch instant and the abort count.
+// A nil Obs makes every call a no-op.
+func observeEpoch(o *obs.Obs, at simtime.Instant, aborted int) {
+	if o == nil {
+		return
+	}
+	o.Counter("dynamic.replans_total").Inc()
+	o.Counter("dynamic.aborted_transfers_total").Add(int64(aborted))
+	if tr := o.Trace(); tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.EvEpochReplan, At: int64(at), N: aborted})
+	}
 }
 
 func replan(st *state.State, cfg core.Config, out *Outcome) error {

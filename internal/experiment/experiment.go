@@ -18,6 +18,7 @@ import (
 	"datastaging/internal/eval"
 	"datastaging/internal/gen"
 	"datastaging/internal/model"
+	"datastaging/internal/obs"
 	"datastaging/internal/scenario"
 )
 
@@ -64,6 +65,14 @@ type Options struct {
 	// Progress, if set, is called after each completed run with the done
 	// and total counts. It must be safe for concurrent use.
 	Progress func(done, total int)
+	// Obs, if set, collects metrics across the study: every scheduler run
+	// shares it (the registry is concurrency-safe), so counters like
+	// core.dijkstra_runs_total aggregate over the whole sweep, plus
+	// experiment.runs_total and the experiment.run_seconds histogram. If it
+	// carries a tracer, events from concurrent runs interleave in emission
+	// order (the tracer is mutex-protected); set Parallelism to 1 when a
+	// readable per-run trace matters more than throughput.
+	Obs *obs.Obs
 }
 
 func (o *Options) fillDefaults() error {
@@ -200,6 +209,8 @@ func Run(opts Options) (*Result, error) {
 	nP, nS, nC := len(opts.Pairs), len(opts.Sweep), opts.NumCases
 	runs := make([]eval.Metrics, nP*nS*nC)
 	caseBounds := make([]boundsRow, nC)
+	mRuns := opts.Obs.Counter("experiment.runs_total")
+	hRunSeconds := opts.Obs.Histogram("experiment.run_seconds", obs.DurationBuckets)
 
 	total := nP*nS*nC + nC
 	var done int64
@@ -240,11 +251,14 @@ func Run(opts Options) (*Result, error) {
 						EU:          opts.Sweep[si].EU,
 						Weights:     opts.Weights,
 						Parallelism: opts.PlanParallelism,
+						Obs:         opts.Obs,
 					}
 					res, err := core.Schedule(cases[ci], cfg)
 					if err != nil {
 						return fmt.Errorf("case %d %v@%s: %w", ci, opts.Pairs[pi], opts.Sweep[si].Label, err)
 					}
+					mRuns.Inc()
+					hRunSeconds.Observe(res.Elapsed.Seconds())
 					runs[(pi*nS+si)*nC+ci] = eval.Measure(cases[ci], res, opts.Weights)
 					return nil
 				}

@@ -7,6 +7,7 @@ import (
 	"datastaging/internal/core"
 	"datastaging/internal/gen"
 	"datastaging/internal/model"
+	"datastaging/internal/obs"
 )
 
 func tinyParams() gen.Params {
@@ -189,5 +190,30 @@ func TestCongestionSweep(t *testing.T) {
 	}
 	if _, err := CongestionSweep(opts, []int{0}, pair, core.EUFromLog10(0)); err == nil {
 		t.Error("zero load should fail")
+	}
+}
+
+// TestRunStudyObsAggregates checks the shared-registry contract: one Obs
+// threaded through a study counts every scheduler run exactly once, times
+// each of them, and accumulates the per-run core counters across workers.
+func TestRunStudyObsAggregates(t *testing.T) {
+	opts := tinyOptions()
+	opts.Pairs = []core.Pair{{Heuristic: core.FullPathOneDest, Criterion: core.C4}}
+	opts.Obs = obs.New()
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRuns := int64(len(opts.Pairs) * len(opts.Sweep) * res.Cases)
+	snap := opts.Obs.Snapshot()
+	if got := snap.Counters["experiment.runs_total"]; got != wantRuns {
+		t.Errorf("experiment.runs_total = %d, want %d", got, wantRuns)
+	}
+	h := snap.Histograms["experiment.run_seconds"]
+	if h.Count != wantRuns {
+		t.Errorf("experiment.run_seconds observations = %d, want %d", h.Count, wantRuns)
+	}
+	if got := snap.Counters["core.iterations_total"]; got <= 0 {
+		t.Errorf("core.iterations_total = %d, want > 0 (shared registry not threaded into runs)", got)
 	}
 }

@@ -1,0 +1,345 @@
+// Package obs is the scheduler's observability layer: a typed metrics
+// registry (counters, gauges, histograms with fixed bucket layouts), a
+// structured event tracer with pluggable sinks, and wall-clock phase
+// timers. It is stdlib-only and designed so that a *disabled* instrument
+// costs approximately nothing: every instrument method is safe on a nil
+// receiver and returns immediately, so instrumented packages hold possibly
+// nil handles and call them unconditionally. All enabled operations are
+// atomic and safe under the planner's replan worker pool and the
+// experiment package's run pool.
+//
+// See DESIGN.md "Observability" for the event taxonomy and the metric
+// names each package registers.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one. No-op on a nil receiver.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (zero on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric holding the latest (or largest) observed
+// value. The value is stored bit-exactly: what Set records is what Value
+// and the snapshot report.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// SetMax records v only if it exceeds the current value (a high-water
+// mark). No-op on a nil receiver.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (zero on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into a fixed cumulative-style bucket
+// layout: counts[i] is the number of observations ≤ bounds[i], and
+// counts[len(bounds)] the overflow. Sum and Count are tracked exactly.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (zero on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (zero on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// The fixed bucket layouts. Registering a histogram with one of these
+// keeps snapshots comparable across runs and packages.
+var (
+	// DurationBuckets is for phase timings, in seconds: 1µs to 10s,
+	// decade steps.
+	DurationBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+	// CountBuckets is for per-iteration sizes (candidates, batch sizes).
+	CountBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000}
+	// SlackBuckets is for deadline slack at satisfaction, in seconds:
+	// zero slack to a day.
+	SlackBuckets = []float64{0, 1, 10, 60, 300, 900, 3600, 4 * 3600, 24 * 3600}
+)
+
+// Registry is a named collection of metrics. Lookups get-or-create, so any
+// number of packages (and goroutines) can register the same name and share
+// the instrument.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil-safe:
+// a nil registry returns a nil (disabled) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds (which must be sorted ascending) on first use; an existing
+// histogram keeps its original bounds. Nil-safe.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is the frozen state of one histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra overflow
+	// entry.
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Mean returns the mean observation, or zero when empty.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry,
+// marshalable to JSON.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot freezes the registry. Concurrent updates during the snapshot
+// are individually atomic but not mutually consistent (this is telemetry,
+// not a barrier). A nil registry snapshots as empty.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counts {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// PhaseTimer accumulates wall-clock time spent in one phase (e.g. forest
+// replanning). The total is exact and cheap to read back; if the timer was
+// registered with a histogram, every span is also observed there in
+// seconds. The zero-cost pattern is a Span on the caller's stack:
+//
+//	span := timer.Start()
+//	... phase work ...
+//	span.Stop()
+type PhaseTimer struct {
+	total atomic.Int64 // nanoseconds
+	hist  *Histogram
+}
+
+// NewPhaseTimer returns a timer feeding the optional histogram.
+func NewPhaseTimer(h *Histogram) *PhaseTimer {
+	return &PhaseTimer{hist: h}
+}
+
+// Phase returns the named phase timer backed by the registry: every span
+// feeds a DurationBuckets histogram "<name>_seconds", whose Sum is the
+// phase's total wall-clock seconds in snapshots. Nil-safe: a nil registry
+// returns a working (but unregistered) timer, so callers can keep exact
+// totals with observability disabled.
+func (r *Registry) Phase(name string) *PhaseTimer {
+	if r == nil {
+		return NewPhaseTimer(nil)
+	}
+	return NewPhaseTimer(r.Histogram(name+"_seconds", DurationBuckets))
+}
+
+// Total returns the accumulated wall-clock time.
+func (t *PhaseTimer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.total.Load())
+}
+
+// Span is one in-flight phase measurement.
+type Span struct {
+	t     *PhaseTimer
+	begin time.Time
+}
+
+// Start begins a span. Safe on a nil timer (Stop becomes a no-op).
+func (t *PhaseTimer) Start() Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, begin: time.Now()}
+}
+
+// Stop ends the span, accumulates it, and returns its duration.
+func (s Span) Stop() time.Duration {
+	if s.t == nil {
+		return 0
+	}
+	d := time.Since(s.begin)
+	s.t.total.Add(int64(d))
+	s.t.hist.Observe(d.Seconds())
+	return d
+}

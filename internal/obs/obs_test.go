@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("same name returned a different counter")
+	}
+
+	g := r.Gauge("g")
+	g.Set(3.25)
+	if got := g.Value(); got != 3.25 {
+		t.Errorf("gauge = %v, want 3.25", got)
+	}
+	g.SetMax(1)
+	if got := g.Value(); got != 3.25 {
+		t.Errorf("SetMax lowered the gauge to %v", got)
+	}
+	g.SetMax(7.5)
+	if got := g.Value(); got != 7.5 {
+		t.Errorf("SetMax = %v, want 7.5", got)
+	}
+	// Bit-exactness: an awkward float must round-trip through the gauge.
+	v := math.Nextafter(1234.5, 2000)
+	g.Set(v)
+	if got := g.Value(); got != v {
+		t.Errorf("gauge not bit-exact: %v != %v", got, v)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["h"]
+	want := []int64{2, 2, 1, 1} // ≤1: {0.5, 1}; ≤10: {2, 10}; ≤100: {11}; over: {1000}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if got := s.Sum; got != 0.5+1+2+10+11+1000 {
+		t.Errorf("sum = %v", got)
+	}
+	if got := s.Mean(); got != s.Sum/6 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	g := r.Gauge("g")
+	g.Set(1)
+	g.SetMax(2)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	h := r.Histogram("h", CountBuckets)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram observed")
+	}
+	var tr *Tracer
+	tr.Emit(Event{Kind: EvIteration})
+	if tr.Enabled() || tr.Total() != 0 || tr.Recent() != nil {
+		t.Error("nil tracer not disabled")
+	}
+	var o *Obs
+	o.Counter("x").Inc()
+	o.Gauge("x").Set(1)
+	o.Histogram("x", CountBuckets).Observe(1)
+	if o.Trace().Enabled() {
+		t.Error("nil obs tracer enabled")
+	}
+	span := o.Phase("p").Start()
+	if span.Stop() < 0 {
+		t.Error("negative span")
+	}
+	snap := o.Snapshot()
+	if len(snap.Counters) != 0 {
+		t.Error("nil obs snapshot not empty")
+	}
+	if s := r.Snapshot(); s.Counters == nil || s.Gauges == nil || s.Histograms == nil {
+		t.Error("nil registry snapshot has nil maps")
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("hw").SetMax(float64(w*each + i))
+				r.Histogram("h", CountBuckets).Observe(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*each {
+		t.Errorf("counter = %d, want %d", got, workers*each)
+	}
+	if got := r.Gauge("hw").Value(); got != workers*each-1 {
+		t.Errorf("high water = %v, want %d", got, workers*each-1)
+	}
+	if got := r.Histogram("h", CountBuckets).Count(); got != workers*each {
+		t.Errorf("histogram count = %d, want %d", got, workers*each)
+	}
+}
+
+func TestPhaseTimerAccumulates(t *testing.T) {
+	r := NewRegistry()
+	p := r.Phase("replan")
+	span := p.Start()
+	time.Sleep(time.Millisecond)
+	d := span.Stop()
+	if d <= 0 || p.Total() < d {
+		t.Errorf("span %v, total %v", d, p.Total())
+	}
+	s := r.Snapshot()
+	h, ok := s.Histograms["replan_seconds"]
+	if !ok || h.Count != 1 {
+		t.Fatalf("phase histogram missing or empty: %+v", s.Histograms)
+	}
+	if math.Abs(h.Sum-p.Total().Seconds()) > 1e-9 {
+		t.Errorf("histogram sum %v != timer total %v", h.Sum, p.Total().Seconds())
+	}
+}
+
+func TestTracerRingAndSinks(t *testing.T) {
+	mem := &MemorySink{}
+	tr := NewTracer(4, mem)
+	for i := 0; i < 6; i++ {
+		tr.Emit(Event{Kind: EvIteration, N: i})
+	}
+	if tr.Total() != 6 {
+		t.Errorf("total = %d, want 6", tr.Total())
+	}
+	recent := tr.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(recent))
+	}
+	for i, e := range recent {
+		if e.N != i+2 {
+			t.Errorf("ring[%d].N = %d, want %d (oldest-first)", i, e.N, i+2)
+		}
+	}
+	if got := mem.Count(EvIteration); got != 6 {
+		t.Errorf("memory sink saw %d events, want all 6", got)
+	}
+	if got := mem.SumN(EvIteration); got != 0+1+2+3+4+5 {
+		t.Errorf("SumN = %d", got)
+	}
+	Discard.Emit(Event{Kind: EvItemDead})
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(Event{Kind: EvTransferBooked, Item: 3, Link: 7, Machine: 2, At: 42, Value: 1.5})
+	s.Emit(Event{Kind: EvForestInvalidated, Item: 1, Reason: ReasonConflict})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first["kind"] != "transfer_booked" || first["item"] != float64(3) || first["link"] != float64(7) {
+		t.Errorf("first line decoded to %v", first)
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second["reason"] != "conflict" {
+		t.Errorf("reason = %v, want conflict", second["reason"])
+	}
+}
+
+func TestSnapshotWriteJSON(t *testing.T) {
+	o := New()
+	o.Counter("core.commits_total").Add(12)
+	o.Gauge("run.weighted_value").Set(987.5)
+	o.Histogram("core.replan_seconds", DurationBuckets).Observe(0.003)
+	var buf bytes.Buffer
+	if err := o.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if back.Counters["core.commits_total"] != 12 {
+		t.Errorf("counter lost: %+v", back.Counters)
+	}
+	if back.Gauges["run.weighted_value"] != 987.5 {
+		t.Errorf("gauge lost: %+v", back.Gauges)
+	}
+	if h := back.Histograms["core.replan_seconds"]; h.Count != 1 {
+		t.Errorf("histogram lost: %+v", h)
+	}
+}
+
+func TestEventKindNames(t *testing.T) {
+	kinds := []EventKind{EvIteration, EvForestComputed, EvForestCacheHit, EvForestInvalidated,
+		EvParallelBatch, EvTransferBooked, EvRequestSatisfied, EvItemDead, EvEpochReplan}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		n := k.String()
+		if n == "unknown" || seen[n] {
+			t.Errorf("kind %d has bad or duplicate name %q", k, n)
+		}
+		seen[n] = true
+	}
+	if EventKind(200).String() != "unknown" {
+		t.Error("out-of-range kind should be unknown")
+	}
+	if fmt.Sprint(ReasonConflict) != "conflict" {
+		t.Error("reason name")
+	}
+}

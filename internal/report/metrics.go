@@ -1,0 +1,37 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"datastaging/internal/obs"
+)
+
+// MetricsRows renders a metrics snapshot as table rows, one instrument per
+// row sorted by name, for the CLI's post-run summary. Counters print their
+// value, gauges their current reading, histograms their observation count,
+// mean, and total.
+func MetricsRows(snap obs.Snapshot) ([]string, [][]string) {
+	headers := []string{"metric", "type", "value"}
+	type entry struct {
+		name string
+		row  []string
+	}
+	var entries []entry
+	for name, v := range snap.Counters {
+		entries = append(entries, entry{name, []string{name, "counter", fmt.Sprintf("%d", v)}})
+	}
+	for name, v := range snap.Gauges {
+		entries = append(entries, entry{name, []string{name, "gauge", fmt.Sprintf("%g", v)}})
+	}
+	for name, h := range snap.Histograms {
+		entries = append(entries, entry{name, []string{name, "histogram",
+			fmt.Sprintf("n=%d mean=%.4g sum=%.4g", h.Count, h.Mean(), h.Sum)}})
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].name < entries[b].name })
+	rows := make([][]string, len(entries))
+	for i := range entries {
+		rows[i] = entries[i].row
+	}
+	return headers, rows
+}

@@ -1,0 +1,62 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"datastaging/internal/obs"
+)
+
+func TestMetricsRows(t *testing.T) {
+	o := obs.New()
+	o.Counter("core.commits_total").Add(7)
+	o.Gauge("dijkstra.heap_high_water").Set(42)
+	h := o.Histogram("core.replan_seconds", obs.DurationBuckets)
+	h.Observe(0.5)
+	h.Observe(1.5)
+
+	headers, rows := MetricsRows(o.Snapshot())
+	if len(headers) != 3 {
+		t.Fatalf("headers: %v", headers)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 rows, got %d: %v", len(rows), rows)
+	}
+	// Rows are sorted by metric name.
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][0] > rows[i][0] {
+			t.Errorf("rows not sorted: %q before %q", rows[i-1][0], rows[i][0])
+		}
+	}
+	want := map[string][2]string{
+		"core.commits_total":       {"counter", "7"},
+		"dijkstra.heap_high_water": {"gauge", "42"},
+		"core.replan_seconds":      {"histogram", "n=2 mean=1 sum=2"},
+	}
+	for _, row := range rows {
+		exp, ok := want[row[0]]
+		if !ok {
+			t.Errorf("unexpected row %v", row)
+			continue
+		}
+		if row[1] != exp[0] || row[2] != exp[1] {
+			t.Errorf("row %q = (%q, %q), want (%q, %q)", row[0], row[1], row[2], exp[0], exp[1])
+		}
+	}
+	// The rows feed straight into Table.
+	var buf bytes.Buffer
+	if err := Table(&buf, headers, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "core.commits_total") {
+		t.Errorf("table output missing metric name:\n%s", buf.String())
+	}
+}
+
+func TestMetricsRowsEmpty(t *testing.T) {
+	_, rows := MetricsRows(obs.Snapshot{})
+	if len(rows) != 0 {
+		t.Errorf("empty snapshot produced rows: %v", rows)
+	}
+}

@@ -1,0 +1,210 @@
+package validator
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"datastaging/internal/core"
+	"datastaging/internal/model"
+	"datastaging/internal/scenario"
+	"datastaging/internal/simtime"
+	"datastaging/internal/state"
+)
+
+// fuzzSeedScenario is the same valid encoding internal/scenario's
+// FuzzDecode seeds with, so the two fuzzers explore from a shared corpus
+// shape: a 2-machine ring with one item and one request.
+const fuzzSeedScenario = `{
+  "network": {
+    "machines": [
+      {"id": 0, "capacityBytes": 1000},
+      {"id": 1, "capacityBytes": 1000}
+    ],
+    "links": [
+      {"id": 0, "from": 0, "to": 1, "window": {"start": 0, "end": 1000000000}, "bandwidthBPS": 8000},
+      {"id": 1, "from": 1, "to": 0, "window": {"start": 0, "end": 1000000000}, "bandwidthBPS": 8000}
+    ]
+  },
+  "items": [
+    {"id": 0, "sizeBytes": 10, "sources": [{"machine": 0, "available": 0}],
+     "requests": [{"machine": 1, "deadline": 900000000, "priority": 2}]}
+  ],
+  "garbageCollect": 360000000000,
+  "horizon": 86400000000000
+}`
+
+// fuzzSeedScenario3 adds an intermediate hop so the missing-copy mutation
+// (class 2) has a dependent transfer to orphan.
+const fuzzSeedScenario3 = `{
+  "network": {
+    "machines": [
+      {"id": 0, "capacityBytes": 100000},
+      {"id": 1, "capacityBytes": 100000},
+      {"id": 2, "capacityBytes": 100000}
+    ],
+    "links": [
+      {"id": 0, "from": 0, "to": 1, "window": {"start": 0, "end": 100000000000}, "bandwidthBPS": 8000},
+      {"id": 1, "from": 1, "to": 2, "window": {"start": 0, "end": 100000000000}, "bandwidthBPS": 8000},
+      {"id": 2, "from": 2, "to": 0, "window": {"start": 0, "end": 100000000000}, "bandwidthBPS": 8000}
+    ]
+  },
+  "items": [
+    {"id": 0, "sizeBytes": 1024, "sources": [{"machine": 0, "available": 0}],
+     "requests": [{"machine": 2, "deadline": 90000000000, "priority": 1}]}
+  ],
+  "garbageCollect": 360000000000,
+  "horizon": 86400000000000
+}`
+
+// fuzzWeights covers every priority class present in the scenario, so the
+// scheduler's objective never collapses to zero on exotic priorities.
+func fuzzWeights(sc *scenario.Scenario) model.Weights {
+	maxPrio := 0
+	for i := range sc.Items {
+		for _, rq := range sc.Items[i].Requests {
+			if int(rq.Priority) > maxPrio {
+				maxPrio = int(rq.Priority)
+			}
+		}
+	}
+	w := make(model.Weights, maxPrio+1)
+	for i := range w {
+		w[i] = float64(i + 1)
+	}
+	return w
+}
+
+// FuzzValidateRoundTrip is the round-trip oracle for the validator: any
+// scenario the decoder accepts must yield a schedule the validator
+// accepts, and every class of mutation applied to that valid schedule
+// must be rejected with a *Violation of the expected Kind. The mutation
+// classes:
+//
+//	0 — shift a transfer's start while keeping its arrival → KindShape
+//	1 — swap a transfer onto a link with different endpoints → KindShape
+//	2 — drop a transfer a later hop depends on → KindMissingCopy
+//	3 — append a duplicate delivery in a later slot →
+//	    {KindLinkConflict, KindPortConflict, KindDuplicateDelivery}
+//	4 — move a transfer's slot past the link window → KindShape
+func FuzzValidateRoundTrip(f *testing.F) {
+	for mut := uint8(0); mut < 5; mut++ {
+		f.Add(fuzzSeedScenario, mut, uint16(0), int64(1))
+		f.Add(fuzzSeedScenario3, mut, uint16(1), int64(7000))
+	}
+
+	f.Fuzz(func(t *testing.T, data string, mutation uint8, pick uint16, shift int64) {
+		sc, err := scenario.Decode(strings.NewReader(data))
+		if err != nil {
+			return // decoder rejection is out of scope here (FuzzDecode owns it)
+		}
+		// Keep the scheduling step cheap on fuzzer-grown inputs.
+		if len(sc.Items) > 16 || sc.Network.NumMachines() > 10 ||
+			len(sc.Network.Links) > 32 || sc.NumRequests() > 64 {
+			return
+		}
+		cfg := core.Config{Heuristic: core.FullPathOneDest, Criterion: core.C4,
+			EU: core.EUFromLog10(0), Weights: fuzzWeights(sc)}
+		res, err := core.Schedule(sc, cfg)
+		if err != nil {
+			t.Fatalf("scheduler failed on accepted scenario: %v", err)
+		}
+		// Round trip: the independent validator must accept every schedule
+		// the heuristic emits.
+		if err := Validate(sc, res.Transfers); err != nil {
+			t.Fatalf("valid schedule rejected: %v", err)
+		}
+		if len(res.Transfers) == 0 {
+			return // nothing to mutate
+		}
+
+		trs := make([]state.Transfer, len(res.Transfers))
+		copy(trs, res.Transfers)
+		k := int(pick) % len(trs)
+		var want []Kind
+		switch mutation % 5 {
+		case 0: // shift start, keep arrival: arrival != start+duration
+			d := time.Duration(shift%int64(time.Hour)) + time.Nanosecond
+			trs[k].Start = trs[k].Start.Add(d)
+			want = []Kind{KindShape}
+		case 1: // swap onto a link with different endpoints
+			tr := trs[k]
+			swapped := false
+			for id := range sc.Network.Links {
+				l := sc.Network.Link(model.LinkID(id))
+				if l.From != tr.From || l.To != tr.To {
+					trs[k].Link = model.LinkID(id)
+					swapped = true
+					break
+				}
+			}
+			if !swapped {
+				return // every link shares endpoints; mutation impossible
+			}
+			want = []Kind{KindShape}
+		case 2: // drop a transfer a later hop depends on
+			hasSource := func(item model.ItemID, m model.MachineID) bool {
+				for _, src := range sc.Item(item).Sources {
+					if src.Machine == m {
+						return true
+					}
+				}
+				return false
+			}
+			dropped := -1
+			for i := range trs {
+				if hasSource(trs[i].Item, trs[i].To) {
+					continue // receiver is also a source; copy exists anyway
+				}
+				for j := range trs {
+					if j != i && trs[j].Item == trs[i].Item && trs[j].From == trs[i].To {
+						dropped = i
+						break
+					}
+				}
+				if dropped >= 0 {
+					break
+				}
+			}
+			if dropped < 0 {
+				return // schedule has no relay hops to orphan
+			}
+			trs = append(trs[:dropped], trs[dropped+1:]...)
+			want = []Kind{KindMissingCopy}
+		case 3: // append a duplicate delivery in a later in-window slot
+			dup := trs[k]
+			dup.Start = dup.Start.Add(time.Duration(shift%int64(time.Hour)) + time.Nanosecond)
+			dup.Arrival = dup.Start.Add(dup.Duration)
+			l := sc.Network.Link(dup.Link)
+			if !l.Window.ContainsInterval(simtime.Span(dup.Start, dup.Duration)) {
+				return // slot fell off the window; that is mutation class 4
+			}
+			trs = append(trs, dup)
+			want = []Kind{KindLinkConflict, KindPortConflict, KindDuplicateDelivery}
+		case 4: // move the slot past the link window
+			l := sc.Network.Link(trs[k].Link)
+			if l.Window.End == simtime.Forever {
+				return // unbounded window; nothing is "outside"
+			}
+			trs[k].Start = l.Window.End
+			trs[k].Arrival = trs[k].Start.Add(trs[k].Duration)
+			want = []Kind{KindShape}
+		}
+
+		err = Validate(sc, trs)
+		if err == nil {
+			t.Fatalf("mutation %d on transfer %d accepted:\n  %+v", mutation%5, k, trs)
+		}
+		var v *Violation
+		if !errors.As(err, &v) {
+			t.Fatalf("mutation %d: error %T is not a *Violation: %v", mutation%5, err, err)
+		}
+		for _, w := range want {
+			if v.Kind == w {
+				return
+			}
+		}
+		t.Fatalf("mutation %d on transfer %d: kind %v not in %v: %v", mutation%5, k, v.Kind, want, err)
+	})
+}

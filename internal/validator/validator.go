@@ -5,6 +5,10 @@
 // time. It shares no bookkeeping with internal/state — it is the
 // cross-check that the schedulers' output is physically executable, used by
 // integration tests for every heuristic and baseline.
+//
+// Every violation is reported as a *Violation carrying a Kind, so callers
+// (and the fuzz harness in fuzz_test.go) can assert not just that a broken
+// schedule is rejected but that it is rejected for the right reason.
 package validator
 
 import (
@@ -18,8 +22,77 @@ import (
 	"datastaging/internal/state"
 )
 
-// Validate replays the transfers and returns the first violated constraint,
-// or nil if the schedule is executable.
+// Kind classifies a constraint violation.
+type Kind int
+
+// The violation classes, one per independent feasibility constraint.
+const (
+	// KindShape: a transfer is malformed in isolation — unknown item or
+	// link, endpoints that do not match the link, wrong duration or
+	// arrival, or a slot outside the link's window.
+	KindShape Kind = iota + 1
+	// KindLinkConflict: two transfers overlap on one virtual link.
+	KindLinkConflict
+	// KindPortConflict: under SerialTransfers, a machine sends or
+	// receives two transfers at once.
+	KindPortConflict
+	// KindDuplicateDelivery: a transfer delivers an item to a machine
+	// that already holds it.
+	KindDuplicateDelivery
+	// KindMissingCopy: a transfer's sending machine never holds the item.
+	KindMissingCopy
+	// KindCopyLifetime: the sender's copy exists, but the transfer starts
+	// before it is available or ends after it is garbage-collected.
+	KindCopyLifetime
+	// KindCapacity: a machine's storage profile goes over capacity.
+	KindCapacity
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindShape:
+		return "shape"
+	case KindLinkConflict:
+		return "link-conflict"
+	case KindPortConflict:
+		return "port-conflict"
+	case KindDuplicateDelivery:
+		return "duplicate-delivery"
+	case KindMissingCopy:
+		return "missing-copy"
+	case KindCopyLifetime:
+		return "copy-lifetime"
+	case KindCapacity:
+		return "capacity"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Violation is one violated feasibility constraint. It satisfies error;
+// use errors.As to recover the Kind from a Validate result.
+type Violation struct {
+	// Kind is the constraint class that was violated.
+	Kind Kind
+	// Transfer is the index (in the input slice) of the offending
+	// transfer, or -1 when the violation is not tied to a single one.
+	Transfer int
+	msg      string
+	wrapped  error
+}
+
+func (v *Violation) Error() string { return v.msg }
+
+// Unwrap exposes the underlying cause (set only for KindCapacity, where
+// the resource layer reports the overflow).
+func (v *Violation) Unwrap() error { return v.wrapped }
+
+func violation(kind Kind, transfer int, format string, args ...any) *Violation {
+	return &Violation{Kind: kind, Transfer: transfer, msg: fmt.Sprintf(format, args...)}
+}
+
+// Validate replays the transfers and returns the first violated constraint
+// as a *Violation, or nil if the schedule is executable.
 func Validate(sc *scenario.Scenario, transfers []state.Transfer) error {
 	if err := validateShape(sc, transfers); err != nil {
 		return err
@@ -43,26 +116,26 @@ func Validate(sc *scenario.Scenario, transfers []state.Transfer) error {
 func validateShape(sc *scenario.Scenario, transfers []state.Transfer) error {
 	for i, tr := range transfers {
 		if int(tr.Item) < 0 || int(tr.Item) >= len(sc.Items) {
-			return fmt.Errorf("validator: transfer %d: unknown item %d", i, tr.Item)
+			return violation(KindShape, i, "validator: transfer %d: unknown item %d", i, tr.Item)
 		}
 		if int(tr.Link) < 0 || int(tr.Link) >= len(sc.Network.Links) {
-			return fmt.Errorf("validator: transfer %d: unknown link %d", i, tr.Link)
+			return violation(KindShape, i, "validator: transfer %d: unknown link %d", i, tr.Link)
 		}
 		l := sc.Network.Link(tr.Link)
 		if tr.From != l.From || tr.To != l.To {
-			return fmt.Errorf("validator: transfer %d: endpoints %d→%d do not match link %d (%d→%d)",
+			return violation(KindShape, i, "validator: transfer %d: endpoints %d→%d do not match link %d (%d→%d)",
 				i, tr.From, tr.To, tr.Link, l.From, l.To)
 		}
 		wantDur := l.TransferDuration(sc.Item(tr.Item).SizeBytes)
 		if tr.Duration != wantDur {
-			return fmt.Errorf("validator: transfer %d: duration %v, link requires %v", i, tr.Duration, wantDur)
+			return violation(KindShape, i, "validator: transfer %d: duration %v, link requires %v", i, tr.Duration, wantDur)
 		}
 		if tr.Arrival != tr.Start.Add(tr.Duration) {
-			return fmt.Errorf("validator: transfer %d: arrival %v != start+duration %v",
+			return violation(KindShape, i, "validator: transfer %d: arrival %v != start+duration %v",
 				i, tr.Arrival, tr.Start.Add(tr.Duration))
 		}
 		if !l.Window.ContainsInterval(simtime.Span(tr.Start, tr.Duration)) {
-			return fmt.Errorf("validator: transfer %d: slot [%v,%v) outside link window %v",
+			return violation(KindShape, i, "validator: transfer %d: slot [%v,%v) outside link window %v",
 				i, tr.Start, tr.Arrival, l.Window)
 		}
 	}
@@ -81,7 +154,8 @@ func validateLinkExclusivity(sc *scenario.Scenario, transfers []state.Transfer) 
 		for k := 1; k < len(idxs); k++ {
 			prev, cur := transfers[idxs[k-1]], transfers[idxs[k]]
 			if cur.Start < prev.Arrival {
-				return fmt.Errorf("validator: link %d: transfers %d and %d overlap ([%v,%v) vs [%v,%v))",
+				return violation(KindLinkConflict, idxs[k],
+					"validator: link %d: transfers %d and %d overlap ([%v,%v) vs [%v,%v))",
 					link, idxs[k-1], idxs[k], prev.Start, prev.Arrival, cur.Start, cur.Arrival)
 			}
 		}
@@ -103,7 +177,8 @@ func validatePortExclusivity(sc *scenario.Scenario, transfers []state.Transfer) 
 			for k := 1; k < len(idxs); k++ {
 				prev, cur := transfers[idxs[k-1]], transfers[idxs[k]]
 				if cur.Start < prev.Arrival {
-					return fmt.Errorf("validator: machine %d %s port: transfers %d and %d overlap",
+					return violation(KindPortConflict, idxs[k],
+						"validator: machine %d %s port: transfers %d and %d overlap",
 						m, port, idxs[k-1], idxs[k])
 				}
 			}
@@ -147,7 +222,8 @@ func reconstructCopies(sc *scenario.Scenario, transfers []state.Transfer) (map[d
 		tr := transfers[i]
 		key := deliveredKey{tr.Item, tr.To}
 		if _, dup := copies[key]; dup {
-			return nil, fmt.Errorf("validator: transfer %d delivers item %d to machine %d which already holds it",
+			return nil, violation(KindDuplicateDelivery, i,
+				"validator: transfer %d delivers item %d to machine %d which already holds it",
 				i, tr.Item, tr.To)
 		}
 		end := gcEnd(sc, tr.Item, tr.To)
@@ -180,14 +256,17 @@ func validateCopyLifetimes(sc *scenario.Scenario, transfers []state.Transfer) er
 	for i, tr := range transfers {
 		c, ok := copies[deliveredKey{tr.Item, tr.From}]
 		if !ok {
-			return fmt.Errorf("validator: transfer %d: machine %d never holds item %d", i, tr.From, tr.Item)
+			return violation(KindMissingCopy, i,
+				"validator: transfer %d: machine %d never holds item %d", i, tr.From, tr.Item)
 		}
 		if tr.Start.Before(c.avail) {
-			return fmt.Errorf("validator: transfer %d: starts %v before copy at machine %d exists (%v)",
+			return violation(KindCopyLifetime, i,
+				"validator: transfer %d: starts %v before copy at machine %d exists (%v)",
 				i, tr.Start, tr.From, c.avail)
 		}
 		if c.end != simtime.Forever && tr.Arrival.After(c.end) {
-			return fmt.Errorf("validator: transfer %d: ends %v after copy at machine %d is collected (%v)",
+			return violation(KindCopyLifetime, i,
+				"validator: transfer %d: ends %v after copy at machine %d is collected (%v)",
 				i, tr.Arrival, tr.From, c.end)
 		}
 	}
@@ -206,8 +285,11 @@ func validateCapacity(sc *scenario.Scenario, transfers []state.Transfer) error {
 		size := sc.Item(tr.Item).SizeBytes
 		iv := simtime.Interval{Start: tr.Arrival, End: gcEnd(sc, tr.Item, tr.To)}
 		if err := caps[tr.To].Reserve(size, iv); err != nil {
-			return fmt.Errorf("validator: transfer %d: machine %d over capacity for item %d over %v: %w",
+			v := violation(KindCapacity, i,
+				"validator: transfer %d: machine %d over capacity for item %d over %v: %v",
 				i, tr.To, tr.Item, iv, err)
+			v.wrapped = err
+			return v
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package validator
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -60,33 +61,34 @@ func TestValidateRejectsCorruptedSchedules(t *testing.T) {
 		name   string
 		mutate func(trs []state.Transfer) []state.Transfer
 		substr string
+		kind   Kind
 	}{
-		{"unknown item", func(trs []state.Transfer) []state.Transfer { trs[0].Item = 99; return trs }, "unknown item"},
-		{"unknown link", func(trs []state.Transfer) []state.Transfer { trs[0].Link = 99; return trs }, "unknown link"},
-		{"endpoint mismatch", func(trs []state.Transfer) []state.Transfer { trs[0].To = 3; return trs }, "do not match"},
-		{"wrong duration", func(trs []state.Transfer) []state.Transfer { trs[0].Duration++; return trs }, "duration"},
-		{"wrong arrival", func(trs []state.Transfer) []state.Transfer { trs[0].Arrival++; return trs }, "arrival"},
+		{"unknown item", func(trs []state.Transfer) []state.Transfer { trs[0].Item = 99; return trs }, "unknown item", KindShape},
+		{"unknown link", func(trs []state.Transfer) []state.Transfer { trs[0].Link = 99; return trs }, "unknown link", KindShape},
+		{"endpoint mismatch", func(trs []state.Transfer) []state.Transfer { trs[0].To = 3; return trs }, "do not match", KindShape},
+		{"wrong duration", func(trs []state.Transfer) []state.Transfer { trs[0].Duration++; return trs }, "duration", KindShape},
+		{"wrong arrival", func(trs []state.Transfer) []state.Transfer { trs[0].Arrival++; return trs }, "arrival", KindShape},
 		{"outside window", func(trs []state.Transfer) []state.Transfer {
 			trs[0].Start = simtime.At(25 * time.Hour)
 			trs[0].Arrival = trs[0].Start.Add(trs[0].Duration)
 			return trs
-		}, "window"},
+		}, "window", KindShape},
 		{"duplicate delivery", func(trs []state.Transfer) []state.Transfer {
 			// Replay the final hop in a later, non-overlapping slot.
 			dup := trs[2]
 			dup.Start = dup.Start.Add(30 * time.Minute)
 			dup.Arrival = dup.Start.Add(dup.Duration)
 			return append(trs, dup)
-		}, "already holds"},
+		}, "already holds", KindDuplicateDelivery},
 		{"missing copy", func(trs []state.Transfer) []state.Transfer {
 			// Keep only the last hop: its sender never received the item.
 			return trs[2:]
-		}, "never holds"},
+		}, "never holds", KindMissingCopy},
 		{"starts before copy", func(trs []state.Transfer) []state.Transfer {
 			trs[1].Start = 0
 			trs[1].Arrival = trs[1].Start.Add(trs[1].Duration)
 			return trs
-		}, "before copy"},
+		}, "before copy", KindCopyLifetime},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -97,6 +99,13 @@ func TestValidateRejectsCorruptedSchedules(t *testing.T) {
 			}
 			if !strings.Contains(err.Error(), tc.substr) {
 				t.Errorf("error %q does not contain %q", err, tc.substr)
+			}
+			var v *Violation
+			if !errors.As(err, &v) {
+				t.Fatalf("error %T is not a *Violation", err)
+			}
+			if v.Kind != tc.kind {
+				t.Errorf("violation kind %v, want %v", v.Kind, tc.kind)
 			}
 		})
 	}

@@ -9,11 +9,17 @@
 # before/after for the lifetime of the benchmark. Delete the file (or a
 # record) to re-baseline.
 #
+# If a recorded benchmark does not appear in the run (renamed, deleted, or
+# filtered out by BENCH=), benchjson fails with a diff of missing vs new
+# names instead of silently dropping the record. For a deliberate partial
+# run, set ALLOW_MISSING=1 to carry absent records forward unchanged.
+#
 # Usage: scripts/bench_baseline.sh [output.json]
 #
 # Environment:
-#   BENCHTIME  go test -benchtime value (default 1s)
-#   BENCH      benchmark regexp (default all in the measured packages)
+#   BENCHTIME      go test -benchtime value (default 1s)
+#   BENCH          benchmark regexp (default all in the measured packages)
+#   ALLOW_MISSING  if set to 1, keep recorded benchmarks absent from this run
 set -eu
 
 out=${1:-BENCH_core.json}
@@ -27,5 +33,10 @@ echo "running benchmarks (-bench=$bench -benchtime=$benchtime) ..." >&2
 # shellcheck disable=SC2086
 go test -run='^$' -bench="$bench" -benchmem -benchtime="$benchtime" $pkgs > "$tmp"
 
-go run ./scripts/benchjson -in "$tmp" -out "$out"
+flags=""
+if [ "${ALLOW_MISSING:-0}" = "1" ]; then
+    flags="-allow-missing"
+fi
+# shellcheck disable=SC2086
+go run ./scripts/benchjson -in "$tmp" -out "$out" $flags
 echo "wrote $out" >&2

@@ -48,14 +48,16 @@ var benchLine = regexp.MustCompile(
 func main() {
 	in := flag.String("in", "", "go test -bench output file (default stdin)")
 	out := flag.String("out", "BENCH_core.json", "JSON file to write (existing baselines are preserved)")
+	allowMissing := flag.Bool("allow-missing", false,
+		"carry recorded benchmarks absent from this run forward unchanged instead of failing (partial -bench runs)")
 	flag.Parse()
-	if err := run(*in, *out); err != nil {
+	if err := run(*in, *out, *allowMissing); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(inPath, outPath string) error {
+func run(inPath, outPath string, allowMissing bool) error {
 	r := os.Stdin
 	if inPath != "" {
 		f, err := os.Open(inPath)
@@ -95,6 +97,7 @@ func run(inPath, outPath string) error {
 	}
 
 	baselines := map[string]Measurement{}
+	prevRecords := map[string]Record{}
 	if prev, err := os.ReadFile(outPath); err == nil {
 		var pf File
 		if err := json.Unmarshal(prev, &pf); err != nil {
@@ -102,8 +105,38 @@ func run(inPath, outPath string) error {
 		}
 		for _, rec := range pf.Benchmarks {
 			baselines[rec.Name] = rec.Baseline
+			prevRecords[rec.Name] = rec
 		}
 	}
+
+	// A benchmark recorded in the file but absent from this run is either a
+	// rename (its new name shows up as "added") or a deleted benchmark.
+	// Either way, regenerating would silently drop the record — and a rename
+	// would restart its perf trajectory from scratch — so fail loudly with
+	// the diff unless the caller opts into carrying the old records forward.
+	var missing, added []string
+	for name := range prevRecords {
+		if _, ok := current[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	for _, name := range order {
+		if _, ok := prevRecords[name]; !ok && len(prevRecords) > 0 {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(added)
+	if len(missing) > 0 && !allowMissing {
+		return fmt.Errorf("benchmark set changed against %s:\n"+
+			"  recorded but not in this run: %s\n"+
+			"  in this run but not recorded: %s\n"+
+			"a rename would silently reset its baseline; if intentional, delete the old "+
+			"records from %s, or pass -allow-missing to carry them forward unchanged "+
+			"(required for partial BENCH= runs)",
+			outPath, strings.Join(missing, ", "), joinOrNone(added), outPath)
+	}
+	order = append(order, missing...)
 
 	sort.Strings(order)
 	out := File{
@@ -113,11 +146,17 @@ func run(inPath, outPath string) error {
 		CPU: cpu,
 	}
 	for _, name := range order {
+		cur, ran := current[name]
+		if !ran {
+			// -allow-missing: not measured this run; keep the record as-is.
+			out.Benchmarks = append(out.Benchmarks, prevRecords[name])
+			continue
+		}
 		base, ok := baselines[name]
 		if !ok {
-			base = current[name]
+			base = cur
 		}
-		out.Benchmarks = append(out.Benchmarks, Record{Name: name, Baseline: base, Current: current[name]})
+		out.Benchmarks = append(out.Benchmarks, Record{Name: name, Baseline: base, Current: cur})
 	}
 
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -125,6 +164,13 @@ func run(inPath, outPath string) error {
 		return err
 	}
 	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}
+
+func joinOrNone(names []string) string {
+	if len(names) == 0 {
+		return "(none)"
+	}
+	return strings.Join(names, ", ")
 }
 
 func atof(s string) float64 {

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const firstRun = `goos: linux
+cpu: Fake CPU @ 2.00GHz
+BenchmarkScheduleWithPlanCache-8   	     100	  11000000 ns/op	  500000 B/op	    4000 allocs/op
+BenchmarkDijkstraCompute-8         	   10000	    120000 ns/op	   30000 B/op	      90 allocs/op
+PASS
+`
+
+const secondRun = `cpu: Fake CPU @ 2.00GHz
+BenchmarkScheduleWithPlanCache-8   	     100	  10000000 ns/op	  480000 B/op	    3900 allocs/op
+BenchmarkDijkstraCompute-8         	   10000	    110000 ns/op	   30000 B/op	      90 allocs/op
+PASS
+`
+
+// renamedRun drops BenchmarkDijkstraCompute and introduces a new name —
+// the shape of a benchmark rename.
+const renamedRun = `cpu: Fake CPU @ 2.00GHz
+BenchmarkScheduleWithPlanCache-8   	     100	  10000000 ns/op	  480000 B/op	    3900 allocs/op
+BenchmarkDijkstraForest-8          	   10000	    100000 ns/op	   29000 B/op	      88 allocs/op
+PASS
+`
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func load(t *testing.T, path string) File {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func record(t *testing.T, f File, name string) Record {
+	t.Helper()
+	for _, r := range f.Benchmarks {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("record %q not in %+v", name, f.Benchmarks)
+	return Record{}
+}
+
+func TestBaselineFrozenAcrossRuns(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "BENCH.json")
+
+	write(t, in, firstRun)
+	if err := run(in, out, false); err != nil {
+		t.Fatal(err)
+	}
+	write(t, in, secondRun)
+	if err := run(in, out, false); err != nil {
+		t.Fatal(err)
+	}
+
+	f := load(t, out)
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("got %d records", len(f.Benchmarks))
+	}
+	r := record(t, f, "ScheduleWithPlanCache")
+	if r.Baseline.NsPerOp != 11000000 {
+		t.Errorf("baseline not frozen: %v", r.Baseline.NsPerOp)
+	}
+	if r.Current.NsPerOp != 10000000 {
+		t.Errorf("current not refreshed: %v", r.Current.NsPerOp)
+	}
+	if f.CPU != "Fake CPU @ 2.00GHz" {
+		t.Errorf("cpu: %q", f.CPU)
+	}
+}
+
+func TestRenameFailsWithDiff(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "BENCH.json")
+
+	write(t, in, firstRun)
+	if err := run(in, out, false); err != nil {
+		t.Fatal(err)
+	}
+	before := load(t, out)
+
+	write(t, in, renamedRun)
+	err := run(in, out, false)
+	if err == nil {
+		t.Fatal("renamed benchmark set accepted")
+	}
+	for _, want := range []string{"DijkstraCompute", "DijkstraForest", "-allow-missing"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	// A failed run must not clobber the file.
+	after := load(t, out)
+	if len(after.Benchmarks) != len(before.Benchmarks) {
+		t.Errorf("file rewritten despite failure: %d vs %d records",
+			len(after.Benchmarks), len(before.Benchmarks))
+	}
+}
+
+func TestAllowMissingCarriesRecordsForward(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "BENCH.json")
+
+	write(t, in, firstRun)
+	if err := run(in, out, false); err != nil {
+		t.Fatal(err)
+	}
+	write(t, in, renamedRun)
+	if err := run(in, out, true); err != nil {
+		t.Fatal(err)
+	}
+
+	f := load(t, out)
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("got %d records, want old + renamed + carried", len(f.Benchmarks))
+	}
+	carried := record(t, f, "DijkstraCompute")
+	if carried.Current.NsPerOp != 120000 {
+		t.Errorf("carried record altered: %+v", carried)
+	}
+	fresh := record(t, f, "DijkstraForest")
+	if fresh.Baseline != fresh.Current {
+		t.Errorf("new record's baseline not frozen at first numbers: %+v", fresh)
+	}
+}
+
+func TestNoInputLinesFails(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	write(t, in, "PASS\n")
+	if err := run(in, filepath.Join(dir, "out.json"), false); err == nil {
+		t.Error("empty benchmark output accepted")
+	}
+}
+
+func TestFreshFileNeverReportsAdded(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	write(t, in, firstRun)
+	// No existing file: everything is new, nothing can be missing.
+	if err := run(in, filepath.Join(dir, "out.json"), false); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,24 @@
+#!/bin/sh
+# coverage_check.sh — the coverage ratchet: run the short test suite with
+# statement coverage and fail if the total drops below the floor recorded
+# in scripts/coverage_floor.txt. The floor trails actual coverage by a few
+# points to absorb noise; raise it as coverage grows, never lower it to
+# paper over lost tests.
+#
+# Usage: scripts/coverage_check.sh
+set -eu
+
+floor=$(tr -d ' \n' < scripts/coverage_floor.txt)
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+
+go test -short -coverprofile="$profile" ./... > /dev/null
+total=$(go tool cover -func="$profile" | tail -1 | awk '{print $NF}' | tr -d '%')
+echo "total statement coverage: ${total}% (floor: ${floor}%)"
+
+ok=$(awk -v t="$total" -v f="$floor" 'BEGIN { print (t+0 >= f+0) ? 1 : 0 }')
+if [ "$ok" != 1 ]; then
+    echo "coverage ${total}% is below the floor ${floor}%" >&2
+    echo "add tests for the new code, or delete dead code; the floor in scripts/coverage_floor.txt only ratchets up" >&2
+    exit 1
+fi
