@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json cover cover-check fuzz study examples clean
+.PHONY: all build vet test test-short race bench bench-json bench-smoke cover cover-check fuzz study examples clean
 
 all: build vet test
 
@@ -33,6 +33,13 @@ bench:
 bench-json:
 	sh scripts/bench_baseline.sh BENCH_core.json
 
+# One iteration of each interval-kernel benchmark: a CI smoke check that
+# the benchmark code itself keeps compiling and running between full
+# `make bench-json` baseline refreshes.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='EarliestFit|CapacityMinAvailable' -benchtime=1x \
+		./internal/simtime/ ./internal/resource/
+
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
@@ -47,6 +54,8 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/scenario/ -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/validator/ -run='^$$' -fuzz=FuzzValidateRoundTrip -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/simtime/ -run='^$$' -fuzz=FuzzKernelEquivalence -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/resource/ -run='^$$' -fuzz=FuzzKernelEquivalence -fuzztime=$(FUZZTIME)
 
 # Reproduce the paper's full simulation study (40 cases, both weightings,
 # all extension sweeps). Takes a few minutes on one core.

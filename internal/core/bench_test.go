@@ -24,6 +24,38 @@ func BenchmarkScheduleWithPlanCache(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedule measures the production scheduler at its default
+// configuration with allocation reporting: the headline trajectory number
+// the interval-kernel work regresses against.
+func BenchmarkSchedule(b *testing.B) {
+	sc := gen.MustGenerate(gen.Default(), 42)
+	cfg := Config{Heuristic: FullPathOneDest, Criterion: C4, EU: EUFromLog10(2), Weights: model.Weights1x10x100}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(sc, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleSerial measures the same run with the §3 future-work
+// per-machine port serialization on, where every relax step intersects
+// link, send-port, and receive-port availability. This is the workload the
+// fused intersect-fit kernel targets.
+func BenchmarkScheduleSerial(b *testing.B) {
+	sc := gen.MustGenerate(gen.Default(), 42)
+	sc.SerialTransfers = true
+	cfg := Config{Heuristic: FullPathOneDest, Criterion: C4, EU: EUFromLog10(2), Weights: model.Weights1x10x100}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(sc, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkScheduleParanoidRerun is the ablation: the paper's described
 // implementation that re-runs Dijkstra for every item on every iteration.
 // Results are identical (see TestPlanCacheMatchesParanoidRerun); this

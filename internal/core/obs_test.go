@@ -144,6 +144,47 @@ func TestObsDisabledIsInert(t *testing.T) {
 	}
 }
 
+// TestObsSlotQueryCounters checks the state layer's slot-query counters:
+// every run issues slot queries, and in serialized-transfer mode every one
+// of them must take the fused intersect-fit fast path (no intersection
+// sets are ever materialized).
+func TestObsSlotQueryCounters(t *testing.T) {
+	sc := gen.MustGenerate(smallParams(), 9)
+	cfg := Config{Heuristic: FullPathOneDest, Criterion: C4, EU: EUFromLog10(2), Weights: model.Weights1x10x100}
+
+	o := obs.New()
+	cfg.Obs = o
+	if _, err := Schedule(sc, cfg); err != nil {
+		t.Fatal(err)
+	}
+	snap := o.Snapshot()
+	queries := snap.Counters["state.slot_query_total"]
+	fast := snap.Counters["state.slot_fastpath_total"]
+	if queries <= 0 {
+		t.Fatal("no slot queries counted")
+	}
+	if fast < 0 || fast > queries {
+		t.Fatalf("fastpath count %d out of range [0, %d]", fast, queries)
+	}
+
+	serial := *sc
+	serial.SerialTransfers = true
+	o2 := obs.New()
+	cfg.Obs = o2
+	if _, err := Schedule(&serial, cfg); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := o2.Snapshot()
+	queries2 := snap2.Counters["state.slot_query_total"]
+	fast2 := snap2.Counters["state.slot_fastpath_total"]
+	if queries2 <= 0 {
+		t.Fatal("no slot queries counted in serialized mode")
+	}
+	if fast2 != queries2 {
+		t.Fatalf("serialized mode: %d of %d slot queries took the fused fast path, want all", fast2, queries2)
+	}
+}
+
 // TestObsSatisfactionSlack checks the slack histogram sees exactly the
 // satisfied requests, with plausible values.
 func TestObsSatisfactionSlack(t *testing.T) {

@@ -121,6 +121,7 @@ func plannerOn(st *state.State, cfg Config) *planner {
 	p.replanTimer = o.Phase("core.replan")
 	if o != nil {
 		p.obsOn = true
+		st.SetObs(o)
 		p.mIterations = o.Counter("core.iterations_total")
 		p.mCommits = o.Counter("core.commits_total")
 		p.mDijkstra = o.Counter("core.dijkstra_runs_total")

@@ -32,6 +32,23 @@ func benchSetup(tb testing.TB) (*state.State, *dijkstra.Plan, []model.MachineID)
 	return nil, nil, nil
 }
 
+// BenchmarkDijkstraComputeSerial measures one forest computation with
+// serialized transfers on: every edge relaxation runs the fused three-way
+// intersect-fit slot query (link ∧ send port ∧ receive port), the direct
+// consumer of simtime.EarliestFitN.
+func BenchmarkDijkstraComputeSerial(b *testing.B) {
+	sc := gen.MustGenerate(gen.Default(), 42)
+	sc.SerialTransfers = true
+	st := state.New(sc)
+	s := dijkstra.NewScratch()
+	var pl *dijkstra.Plan
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl = s.Compute(st, model.ItemID(i%len(sc.Items)), pl)
+	}
+}
+
 // BenchmarkFirstHopTo measures first-hop extraction, the per-candidate
 // query candidates() issues for every open request on every iteration.
 // It walks the predecessor chain directly and must not allocate (the old

@@ -15,7 +15,13 @@
 // Dijkstra remains exact for arrival times: when a machine is popped its
 // label is the true earliest arrival achievable in the current resource
 // state (given the model decision that capacity feasibility is checked at
-// the earliest arrival — see DESIGN.md §2).
+// the earliest arrival — see DESIGN.md §2). The same monotonicity is what
+// the interval kernels under each relax step exploit: the slot query rides
+// a per-link cursor hint (serialized mode fuses link, send-port, and
+// receive-port availability without materializing intersection sets) and
+// the capacity check is a segment-min index lookup, so one relaxation
+// performs zero heap allocations and no from-zero timeline scans — see
+// DESIGN.md "Interval kernels".
 //
 // Compute only reads the state, so any number of Compute calls may run
 // concurrently against the same State (the planner in internal/core

@@ -13,6 +13,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"datastaging/internal/simtime"
 )
@@ -33,6 +36,18 @@ type Capacity struct {
 	// [segs[k].start, segs[k+1].start), and the last segment extends to
 	// the end of time. There is always at least one segment.
 	segs []capSegment
+
+	// idx is the sparse-table range-minimum index over the segments'
+	// avail values, valid only while dirty is false. Mutations (Reserve,
+	// Release) mark it dirty; the first MinAvailable on a large profile
+	// afterwards rebuilds it under mu, so the rebuild cost is amortized
+	// over the many feasibility queries between commits. Queries may run
+	// concurrently with each other (the planner's parallel replanning
+	// does), but never concurrently with a mutation — the same contract
+	// the rest of the state bookkeeping already has.
+	idx   minTable
+	dirty atomic.Bool
+	mu    sync.Mutex
 }
 
 type capSegment struct {
@@ -40,14 +55,45 @@ type capSegment struct {
 	avail int64
 }
 
+// minIndexCutoff is the profile size below which MinAvailable stays a
+// plain linear walk: for a handful of segments the scan beats the index
+// lookup and nothing is ever rebuilt.
+const minIndexCutoff = 32
+
 // NewCapacity returns a profile with total bytes available at all times.
 func NewCapacity(total int64) *Capacity {
-	return &Capacity{segs: []capSegment{{start: simtime.Instant(math.MinInt64), avail: total}}}
+	c := &Capacity{segs: []capSegment{{start: simtime.Instant(math.MinInt64), avail: total}}}
+	c.dirty.Store(true)
+	return c
 }
 
 // MinAvailable returns the minimum available bytes over the interval iv.
 // An empty interval yields the availability at iv.Start.
+//
+// On profiles larger than minIndexCutoff the query is served from the
+// segment-min index in O(log n): two binary searches for the boundary
+// segments and one constant-time sparse-table lookup. minAvailableSlow is
+// the linear reference the differential tests pin this against.
 func (c *Capacity) MinAvailable(iv simtime.Interval) int64 {
+	if iv.End <= iv.Start {
+		return c.segs[c.segIndex(iv.Start)].avail
+	}
+	if len(c.segs) <= minIndexCutoff {
+		return c.minAvailableSlow(iv)
+	}
+	c.ensureIndex()
+	i := c.segIndex(iv.Start)
+	// The last segment in effect before iv.End: greatest start <= End-1,
+	// i.e. start < End (End > Start > MinInt64, so End-1 cannot wrap).
+	j := c.segIndex(iv.End - 1)
+	return c.idx.min(i, j)
+}
+
+// minAvailableSlow is the pre-index reference implementation: a linear
+// walk over every segment the interval touches. Kept as the oracle for
+// the differential kernel tests and FuzzKernelEquivalence (exported to
+// tests via export_test.go).
+func (c *Capacity) minAvailableSlow(iv simtime.Interval) int64 {
 	if iv.End < iv.Start {
 		iv.End = iv.Start
 	}
@@ -59,6 +105,75 @@ func (c *Capacity) MinAvailable(iv simtime.Interval) int64 {
 		}
 	}
 	return minAvail
+}
+
+// ensureIndex rebuilds the segment-min index if a mutation invalidated
+// it. Safe for concurrent queries: the atomic dirty flag is double-checked
+// under mu, and a reader only touches idx after observing dirty == false,
+// which orders it after the rebuild that cleared the flag.
+func (c *Capacity) ensureIndex() {
+	if !c.dirty.Load() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dirty.Load() {
+		c.idx.rebuild(c.segs)
+		c.dirty.Store(false)
+	}
+}
+
+// minTable is a sparse table for range-minimum queries over the segment
+// availabilities: level[k][i] is the minimum over segs[i : i+2^k]. Build
+// is O(n log n); queries are O(1). Rebuilds reuse the backing arrays, so
+// the steady state allocates nothing.
+type minTable struct {
+	level [][]int64
+}
+
+func (m *minTable) rebuild(segs []capSegment) {
+	n := len(segs)
+	levels := bits.Len(uint(n)) // 2^(levels-1) <= n
+	if cap(m.level) < levels {
+		m.level = append(m.level[:cap(m.level)], make([][]int64, levels-cap(m.level))...)
+	}
+	m.level = m.level[:levels]
+	// Profiles grow a few segments per commit, so size fresh rows with
+	// slack: without it every rebuild of a growing profile reallocates
+	// every level.
+	grow := func(s []int64, n int) []int64 {
+		if cap(s) < n {
+			return make([]int64, n, 2*n)
+		}
+		return s[:n]
+	}
+	m.level[0] = grow(m.level[0], n)
+	for i, s := range segs {
+		m.level[0][i] = s.avail
+	}
+	for k := 1; k < levels; k++ {
+		width := 1 << k
+		rows := n - width + 1
+		m.level[k] = grow(m.level[k], rows)
+		prev := m.level[k-1]
+		for i := 0; i < rows; i++ {
+			a, b := prev[i], prev[i+width/2]
+			if b < a {
+				a = b
+			}
+			m.level[k][i] = a
+		}
+	}
+}
+
+// min returns the minimum availability over segment indices [i, j], j >= i.
+func (m *minTable) min(i, j int) int64 {
+	k := bits.Len(uint(j-i+1)) - 1
+	a, b := m.level[k][i], m.level[k][j+1-1<<k]
+	if b < a {
+		return b
+	}
+	return a
 }
 
 // AvailableAt returns the available bytes at instant t.
@@ -112,6 +227,7 @@ func (c *Capacity) adjust(delta int64, iv simtime.Interval) {
 		}
 	}
 	c.coalesce()
+	c.dirty.Store(true)
 }
 
 // splitAt ensures a segment boundary exists exactly at t.
@@ -151,11 +267,14 @@ func (c *Capacity) segIndex(t simtime.Instant) int {
 	return lo - 1
 }
 
-// Clone returns a deep copy of the profile.
+// Clone returns a deep copy of the profile. The segment-min index is not
+// copied; the clone rebuilds its own on first use.
 func (c *Capacity) Clone() *Capacity {
 	segs := make([]capSegment, len(c.segs))
 	copy(segs, c.segs)
-	return &Capacity{segs: segs}
+	out := &Capacity{segs: segs}
+	out.dirty.Store(true)
+	return out
 }
 
 // Segments returns the number of internal segments (exported for tests and

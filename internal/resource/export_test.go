@@ -1,0 +1,13 @@
+package resource
+
+import "datastaging/internal/simtime"
+
+// MinAvailableSlow exposes the linear-walk reference implementation to the
+// differential kernel tests and FuzzKernelEquivalence.
+func (c *Capacity) MinAvailableSlow(iv simtime.Interval) int64 {
+	return c.minAvailableSlow(iv)
+}
+
+// MinIndexCutoff exposes the profile size above which MinAvailable uses
+// the segment-min index, so tests can build profiles on both sides of it.
+const MinIndexCutoff = minIndexCutoff

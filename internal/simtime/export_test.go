@@ -1,0 +1,14 @@
+package simtime
+
+import "time"
+
+// EarliestFitSlow exposes the linear-scan reference implementation to the
+// differential kernel tests and FuzzKernelEquivalence.
+func (s *Set) EarliestFitSlow(ready Instant, d time.Duration) (Instant, bool) {
+	return s.earliestFitSlow(ready, d)
+}
+
+// SubtractSlow exposes the rebuild-into-fresh-array reference
+// implementation of Subtract to the differential kernel tests and
+// FuzzKernelEquivalence.
+func (s *Set) SubtractSlow(iv Interval) { s.subtractSlow(iv) }

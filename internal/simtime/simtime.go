@@ -168,6 +168,27 @@ func NewSet(ivs ...Interval) Set {
 	return s
 }
 
+// NewSets returns one set per window — empty windows yield empty sets —
+// with every non-empty set's single interval drawn from one shared backing
+// array. State construction builds one free-time set per virtual link
+// (thousands), so one allocation here replaces one per set. Each set's
+// slice is capacity-limited to its own element: a later mutation that has
+// to grow it reallocates privately instead of clobbering a neighbor.
+func NewSets(windows []Interval) []Set {
+	out := make([]Set, len(windows))
+	backing := make([]Interval, len(windows))
+	n := 0
+	for i, w := range windows {
+		if w.IsEmpty() {
+			continue
+		}
+		backing[n] = w
+		out[i] = Set{ivs: backing[n : n+1 : n+1]}
+		n++
+	}
+	return out
+}
+
 // Intervals returns a copy of the set's canonical intervals in ascending
 // order.
 func (s *Set) Intervals() []Interval {
@@ -262,6 +283,53 @@ func (s *Set) Subtract(iv Interval) {
 	if iv.IsEmpty() || len(s.ivs) == 0 {
 		return
 	}
+	// The canonical form makes subtraction a splice: the intervals
+	// overlapping iv are one contiguous run [i, j), replaced by at most two
+	// clipped ends, so the edit happens in place. A committed transfer slot
+	// usually lands strictly inside one free interval (the split case),
+	// which grows the set by one; append's amortized growth is the only
+	// allocation this ever makes.
+	i := s.search(iv.Start)
+	if s.ivs[i].End <= iv.Start {
+		i++
+	}
+	j := i
+	for j < len(s.ivs) && s.ivs[j].Start < iv.End {
+		j++
+	}
+	if i == j {
+		return
+	}
+	var rep [2]Interval
+	nrep := 0
+	if left := (Interval{Start: s.ivs[i].Start, End: iv.Start}); !left.IsEmpty() {
+		rep[nrep] = left
+		nrep++
+	}
+	if right := (Interval{Start: iv.End, End: s.ivs[j-1].End}); !right.IsEmpty() {
+		rep[nrep] = right
+		nrep++
+	}
+	if removed := j - i; nrep > removed { // mid-interval split: grow by one
+		s.ivs = append(s.ivs, Interval{})
+		copy(s.ivs[i+2:], s.ivs[i+1:])
+	} else if nrep < removed {
+		copy(s.ivs[i+nrep:], s.ivs[j:])
+		s.ivs = s.ivs[:len(s.ivs)-removed+nrep]
+	}
+	for k := 0; k < nrep; k++ {
+		s.ivs[i+k] = rep[k]
+	}
+}
+
+// subtractSlow is the pre-splice reference implementation: rebuild the
+// whole set into a fresh array, filtering each interval against iv. Kept
+// as the oracle for the differential kernel tests and FuzzKernelEquivalence
+// (exported to tests via export_test.go).
+func (s *Set) subtractSlow(iv Interval) {
+	if iv.IsEmpty() || len(s.ivs) == 0 {
+		return
+	}
 	out := s.ivs[:0:0]
 	for _, ex := range s.ivs {
 		if !ex.Overlaps(iv) {
@@ -278,9 +346,21 @@ func (s *Set) Subtract(iv Interval) {
 	s.ivs = out
 }
 
-// IntersectSet returns the instants common to both sets.
+// IntersectSet returns the instants common to both sets. The output is
+// preallocated at min(len(a), len(b)) intervals, which covers the typical
+// case in one allocation (the true bound is len(a)+len(b)-1; append grows
+// on the rare overshoot). Hot paths that only need the earliest common fit
+// should use EarliestFitN, which materializes nothing.
 func (s *Set) IntersectSet(other *Set) Set {
 	var out Set
+	if len(s.ivs) == 0 || len(other.ivs) == 0 {
+		return out
+	}
+	n := len(s.ivs)
+	if len(other.ivs) < n {
+		n = len(other.ivs)
+	}
+	out.ivs = make([]Interval, 0, n)
 	i, j := 0, 0
 	for i < len(s.ivs) && j < len(other.ivs) {
 		isect := s.ivs[i].Intersect(other.ivs[j])
@@ -300,7 +380,68 @@ func (s *Set) IntersectSet(other *Set) Set {
 // [t, t+d) lies entirely within the set. The boolean result is false when no
 // such instant exists. A zero or negative d fits at the first in-set instant
 // at or after ready (or exactly at ready if ready is in the set).
+//
+// The query binary-searches to the first interval that can still serve
+// ready and scans forward from there, so a query deep into a dense
+// timeline costs O(log n + k) for k intervals actually inspected instead
+// of an O(n) walk from the front (earliestFitSlow, the reference the
+// differential tests pin this against).
 func (s *Set) EarliestFit(ready Instant, d time.Duration) (Instant, bool) {
+	t, _, ok := s.earliestFitFrom(s.search(ready), ready, d)
+	return t, ok
+}
+
+// earliestFitFrom scans for a fit starting at interval index from. Every
+// interval before from must end at or before ready (such intervals can
+// never produce a fit, so skipping them is exact). It returns the fit
+// instant, the index of the interval providing it (len(s.ivs) when none),
+// and whether a fit exists.
+func (s *Set) earliestFitFrom(from int, ready Instant, d time.Duration) (Instant, int, bool) {
+	if d < 0 {
+		d = 0
+	}
+	for i := from; i < len(s.ivs); i++ {
+		iv := s.ivs[i]
+		if iv.End < ready {
+			continue
+		}
+		start := MaxInstant(iv.Start, ready)
+		if d == 0 {
+			if iv.Contains(start) {
+				return start, i, true
+			}
+			continue
+		}
+		if start.Add(d) <= iv.End {
+			return start, i, true
+		}
+	}
+	return Never, len(s.ivs), false
+}
+
+// EarliestFitHint is EarliestFit accelerated by a caller-held cursor: hint
+// is the interval index a previous query on this set returned as next.
+// When the hint is still valid for this query — every interval before it
+// ends at or before ready, which holds whenever queries arrive with
+// non-decreasing ready and the set has not changed — the scan starts there
+// directly, skipping even the binary search. An invalid hint (stale, out
+// of range, or negative) falls back to the indexed query, so any hint
+// value yields correct results. next is the index to pass as the hint of
+// the following query; hinted reports whether the fast path was taken.
+func (s *Set) EarliestFitHint(hint int, ready Instant, d time.Duration) (t Instant, next int, ok, hinted bool) {
+	if hint >= 0 && hint <= len(s.ivs) && (hint == 0 || s.ivs[hint-1].End <= ready) {
+		t, next, ok = s.earliestFitFrom(hint, ready, d)
+		return t, next, ok, true
+	}
+	t, next, ok = s.earliestFitFrom(s.search(ready), ready, d)
+	return t, next, ok, false
+}
+
+// earliestFitSlow is the pre-index reference implementation of EarliestFit:
+// a linear scan from the front of the set. It is kept as the oracle for the
+// differential kernel tests and FuzzKernelEquivalence (exported to tests
+// via export_test.go) and must not be called on hot paths.
+func (s *Set) earliestFitSlow(ready Instant, d time.Duration) (Instant, bool) {
 	if d < 0 {
 		d = 0
 	}

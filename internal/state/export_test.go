@@ -1,0 +1,14 @@
+package state
+
+import (
+	"time"
+
+	"datastaging/internal/model"
+	"datastaging/internal/simtime"
+)
+
+// EarliestTransferSlotSlow exposes the set-materializing reference
+// implementation to the differential kernel tests.
+func (st *State) EarliestTransferSlotSlow(id model.LinkID, ready simtime.Instant, d time.Duration) (simtime.Instant, bool) {
+	return st.earliestTransferSlotSlow(id, ready, d)
+}

@@ -92,3 +92,70 @@ func TestEarliestTransferSlotHonorsPorts(t *testing.T) {
 		t.Errorf("parallel slot: got (%v, %v), want 0", slot, ok)
 	}
 }
+
+// TestEarliestTransferSlotMatchesSlow pins the fused three-way kernel (and
+// the hinted single-link path) bit-identical to the set-materializing
+// reference across a grid of links, ready instants, and durations, with
+// commits mutating the timelines between sweeps.
+func TestEarliestTransferSlotMatchesSlow(t *testing.T) {
+	for _, serial := range []bool{false, true} {
+		st, a, c := serialScenario()
+		if !serial {
+			st.sendPort, st.recvPort = nil, nil
+		}
+		sweep := func(phase string) {
+			links := len(st.Scenario().Network.Links)
+			for id := 0; id < links; id++ {
+				for readyMS := -100; readyMS < 3000; readyMS += 37 {
+					ready := simtime.At(time.Duration(readyMS) * time.Millisecond)
+					for _, d := range []time.Duration{0, 100 * time.Millisecond, 1024 * time.Millisecond, 48 * time.Hour} {
+						got, gotOK := st.EarliestTransferSlot(model.LinkID(id), ready, d)
+						want, wantOK := st.EarliestTransferSlotSlow(model.LinkID(id), ready, d)
+						if got != want || gotOK != wantOK {
+							t.Fatalf("serial=%v %s: slot(link %d, %v, %v) = (%v, %v), want (%v, %v)",
+								serial, phase, id, ready, d, got, gotOK, want, wantOK)
+						}
+					}
+				}
+			}
+		}
+		sweep("fresh")
+		if _, err := st.Commit(a, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		sweep("after first commit")
+		if _, err := st.Commit(c, 1, simtime.At(2*1024*time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		sweep("after second commit")
+	}
+}
+
+// TestSerializedSlotQueryZeroAllocs is the acceptance bound of the fused
+// kernel: the serialized-transfer slot query — which used to materialize
+// two intersection sets per call — must not allocate at all.
+func TestSerializedSlotQueryZeroAllocs(t *testing.T) {
+	st, a, _ := serialScenario()
+	if _, err := st.Commit(a, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	d := 500 * time.Millisecond
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := st.EarliestTransferSlot(1, 0, d); !ok {
+			t.Fatal("no slot")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("serialized EarliestTransferSlot allocated %.1f times per query, want 0", allocs)
+	}
+	// The single-link path must be allocation-free too.
+	st.sendPort, st.recvPort = nil, nil
+	allocs = testing.AllocsPerRun(100, func() {
+		if _, ok := st.EarliestTransferSlot(1, 0, d); !ok {
+			t.Fatal("no slot")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("single-link EarliestTransferSlot allocated %.1f times per query, want 0", allocs)
+	}
+}

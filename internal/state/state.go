@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"datastaging/internal/model"
+	"datastaging/internal/obs"
 	"datastaging/internal/resource"
 	"datastaging/internal/scenario"
 	"datastaging/internal/simtime"
@@ -78,6 +79,12 @@ type State struct {
 	// link, each group sorted by window start; the shortest-path relaxation
 	// walks these groups with early exit.
 	physOut [][]PhysGroup
+
+	// Slot-query metrics, wired by SetObs (nil — disabled — otherwise;
+	// obs instruments are nil-safe and atomic, so the hot path calls them
+	// unconditionally and concurrent forest recomputations may share
+	// them).
+	mSlotQuery, mSlotFast *obs.Counter
 }
 
 // PhysGroup is the virtual links of one physical link u→v, sorted by window
@@ -93,27 +100,30 @@ type PhysGroup struct {
 func New(sc *scenario.Scenario) *State {
 	st := &State{
 		sc:        sc,
-		links:     make([]*resource.LinkTimeline, len(sc.Network.Links)),
 		caps:      make([]*resource.Capacity, sc.Network.NumMachines()),
 		holders:   make([][]Holder, len(sc.Items)),
 		holderIdx: make([]map[model.MachineID]int, len(sc.Items)),
 		destOf:    make([]map[model.MachineID]bool, len(sc.Items)),
 		satisfied: make(map[model.RequestID]simtime.Instant),
 	}
+	windows := make([]simtime.Interval, len(sc.Network.Links))
 	for i, l := range sc.Network.Links {
-		st.links[i] = resource.NewLinkTimeline(l.Window)
+		windows[i] = l.Window
 	}
+	st.links = resource.NewLinkTimelines(windows)
 	for i, m := range sc.Network.Machines {
 		st.caps[i] = resource.NewCapacity(m.CapacityBytes)
 	}
 	if sc.SerialTransfers {
 		always := simtime.Interval{Start: 0, End: simtime.Forever}
-		st.sendPort = make([]*resource.LinkTimeline, sc.Network.NumMachines())
-		st.recvPort = make([]*resource.LinkTimeline, sc.Network.NumMachines())
-		for i := range st.sendPort {
-			st.sendPort[i] = resource.NewLinkTimeline(always)
-			st.recvPort[i] = resource.NewLinkTimeline(always)
+		m := sc.Network.NumMachines()
+		pw := make([]simtime.Interval, 2*m)
+		for i := range pw {
+			pw[i] = always
 		}
+		ports := resource.NewLinkTimelines(pw)
+		st.sendPort = ports[:m]
+		st.recvPort = ports[m:]
 	}
 	for i := range sc.Items {
 		it := &sc.Items[i]
@@ -170,14 +180,56 @@ func (st *State) LinkTimeline(id model.LinkID) *resource.LinkTimeline { return s
 // SerialTransfers reports whether per-machine port serialization is on.
 func (st *State) SerialTransfers() bool { return st.sendPort != nil }
 
+// SetObs wires the state's slot-query counters into the registry:
+// state.slot_query_total counts every EarliestTransferSlot call and
+// state.slot_fastpath_total the calls served without materializing an
+// intersection set or re-searching the timeline (the fused kernel in
+// serialized mode, a valid cursor hint otherwise). A nil Obs (the
+// default) leaves the counters disabled at the cost of one branch.
+func (st *State) SetObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	st.mSlotQuery = o.Counter("state.slot_query_total")
+	st.mSlotFast = o.Counter("state.slot_fastpath_total")
+}
+
 // EarliestTransferSlot returns the earliest instant t >= ready at which a
 // transfer of duration d can start on the link: free link time inside the
 // window, and — when the scenario serializes transfers — a free send port
 // at the sender and a free receive port at the receiver for the whole
 // duration.
+//
+// This is the innermost primitive of every edge relaxation in the
+// resource-aware Dijkstra, so both paths are allocation-free: the
+// single-link query rides the link's monotone cursor hint, and the
+// serialized query is the fused three-way intersect-fit kernel
+// (simtime.EarliestFitN), bit-identical to intersecting the three free
+// sets first (earliestTransferSlotSlow, which the differential tests pin
+// it against) without building them.
 func (st *State) EarliestTransferSlot(id model.LinkID, ready simtime.Instant, d time.Duration) (simtime.Instant, bool) {
+	st.mSlotQuery.Inc()
 	if st.sendPort == nil {
-		return st.links[id].EarliestSlot(ready, d)
+		t, ok, hinted := st.links[id].EarliestSlotHinted(ready, d)
+		if hinted {
+			st.mSlotFast.Inc()
+		}
+		return t, ok
+	}
+	st.mSlotFast.Inc()
+	l := st.sc.Network.Link(id)
+	return simtime.EarliestFitN(ready, d,
+		st.links[id].Free(), st.sendPort[l.From].Free(), st.recvPort[l.To].Free())
+}
+
+// earliestTransferSlotSlow is the pre-kernel reference implementation of
+// EarliestTransferSlot: in serialized mode it materializes the
+// intersection of the three availability sets (two intermediate Set
+// allocations per query) and runs the earliest-fit on the result. Kept as
+// the oracle for the differential tests (exported via export_test.go).
+func (st *State) earliestTransferSlotSlow(id model.LinkID, ready simtime.Instant, d time.Duration) (simtime.Instant, bool) {
+	if st.sendPort == nil {
+		return st.links[id].Free().EarliestFit(ready, d)
 	}
 	l := st.sc.Network.Link(id)
 	free := st.links[id].Free().IntersectSet(st.sendPort[l.From].Free())
