@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json bench-smoke cover cover-check fuzz study examples clean
+.PHONY: all build vet test test-short race bench bench-json bench-smoke trace-check cover cover-check fuzz study examples clean
 
 all: build vet test
 
@@ -39,6 +39,14 @@ bench-json:
 bench-smoke:
 	$(GO) test -run='^$$' -bench='EarliestFit|CapacityMinAvailable' -benchtime=1x \
 		./internal/simtime/ ./internal/resource/
+
+# Export a Perfetto trace from a paper-scale run and validate its
+# structure: well-formed JSON, non-empty, monotone timestamps per track,
+# and non-overlapping transfer spans per link.
+trace-check:
+	$(GO) run ./cmd/stagerun -seed 11 -chrome-trace-out .trace-check.json >/dev/null
+	$(GO) run ./scripts/tracecheck .trace-check.json
+	rm -f .trace-check.json
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -9,17 +9,15 @@
 //	         [-criterion C1..C5] [-eu LOG10|inf|-inf]
 //	         [-weights 1,10,100|1,5,10] [-scheduler heuristic|priority_first|
 //	          random_dijkstra|single_dij_random]
-//	         [-transfers] [-timeline] [-explain N] [-parallel N]
-//	         [-metrics-out FILE] [-trace-out FILE] [-pprof-addr ADDR]
+//	         [-transfers] [-timeline] [-utilization] [-explain N] [-parallel N]
+//	         [-metrics-out FILE] [-trace-out FILE] [-trace-ring N]
+//	         [-chrome-trace-out FILE] [-introspect-addr ADDR] [-pprof-addr ADDR]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -32,7 +30,10 @@ import (
 	"datastaging/internal/gen"
 	"datastaging/internal/model"
 	"datastaging/internal/obs"
+	"datastaging/internal/obs/chrometrace"
+	"datastaging/internal/obs/introspect"
 	"datastaging/internal/report"
+	"datastaging/internal/report/utilization"
 	"datastaging/internal/scenario"
 	"datastaging/internal/trace"
 	"datastaging/internal/validator"
@@ -57,37 +58,63 @@ func run(args []string, out io.Writer) error {
 		"heuristic, priority_first, random_dijkstra, or single_dij_random")
 	showTransfers := fs.Bool("transfers", false, "print the transfer schedule")
 	showTimeline := fs.Bool("timeline", false, "print the per-machine activity timeline and link utilization")
+	showUtil := fs.Bool("utilization", false, "print exact per-link/port/storage utilization and bottleneck attribution")
 	explainN := fs.Int("explain", 0, "diagnose up to N unsatisfied requests (why each went unserved)")
 	csvOut := fs.String("csvout", "", "write the transfer schedule as CSV to this file")
 	parallel := fs.Int("parallel", 0, "worker goroutines for forest replanning inside the run (0 = GOMAXPROCS)")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot to this file after the run")
 	traceOut := fs.String("trace-out", "", "stream scheduling events to this file as JSON lines")
+	ringSize := fs.Int("trace-ring", 0, "tracer recent-event ring capacity (0 = default)")
+	chromeOut := fs.String("chrome-trace-out", "", "write the run as a Chrome trace-event JSON file (open in Perfetto)")
+	introspectAddr := fs.String("introspect-addr", "", "serve /metrics, /events, /runinfo, /debug/pprof on this address")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// One sink per consumer: the JSONL stream sees events as they happen,
+	// the memory sink captures the full run for the Chrome trace.
+	var o *obs.Obs
+	var traceSink *obs.JSONLSink
+	var chromeSink *obs.MemorySink
+	if *traceOut != "" || *chromeOut != "" {
+		var sinks []obs.Sink
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			traceSink = obs.NewJSONLSink(f)
+			sinks = append(sinks, traceSink)
+		}
+		if *chromeOut != "" {
+			chromeSink = &obs.MemorySink{}
+			sinks = append(sinks, chromeSink)
+		}
+		o = obs.NewTraced(obs.Tee(sinks...), obs.WithRingSize(*ringSize))
+	} else if *metricsOut != "" || *introspectAddr != "" {
+		o = obs.New()
+	}
+
+	// Both debug addresses serve the same introspection mux, so either one
+	// exposes /metrics, /events, /runinfo, and /debug/pprof.
+	intro := introspect.NewServer(o)
+	if *introspectAddr != "" {
+		ln, err := intro.Start(*introspectAddr)
+		if err != nil {
+			return fmt.Errorf("-introspect-addr: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(out, "introspect: http://%s/\n", ln.Addr())
+	}
 	if *pprofAddr != "" {
-		ln, err := net.Listen("tcp", *pprofAddr)
+		ln, err := intro.Start(*pprofAddr)
 		if err != nil {
 			return fmt.Errorf("-pprof-addr: %w", err)
 		}
 		defer ln.Close()
 		fmt.Fprintf(out, "pprof: http://%s/debug/pprof/\n", ln.Addr())
-		go http.Serve(ln, nil) //nolint:errcheck // best-effort debug endpoint
-	}
-	var o *obs.Obs
-	var traceSink *obs.JSONLSink
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		traceSink = obs.NewJSONLSink(f)
-		o = obs.NewTraced(traceSink)
-	} else if *metricsOut != "" {
-		o = obs.New()
 	}
 
 	sc, err := loadScenario(*inPath, *seed)
@@ -98,6 +125,19 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	intro.SetRunInfo(introspect.RunInfo{
+		Scenario:  sc.Name,
+		Machines:  sc.Network.NumMachines(),
+		Links:     len(sc.Network.Links),
+		Items:     len(sc.Items),
+		Requests:  sc.NumRequests(),
+		Scheduler: *schedName,
+		Config: map[string]string{
+			"heuristic": *heuristicName, "criterion": *criterionName,
+			"eu": *euName, "weights": *weightsName,
+		},
+	})
+	intro.SetPhase("planning")
 
 	var res *core.Result
 	switch *schedName {
@@ -138,10 +178,16 @@ func run(args []string, out io.Writer) error {
 	if err := validator.Validate(sc, res.Transfers); err != nil {
 		return fmt.Errorf("schedule failed independent validation: %w", err)
 	}
+	intro.SetPhase("reporting")
 
 	m := eval.Measure(sc, res, w)
 	upper := bounds.Upper(sc, w)
 	possible, _ := bounds.PossibleSatisfy(sc, w)
+	var util *utilization.Profile
+	if o != nil || *showUtil {
+		util = utilization.Compute(sc, res.Transfers)
+		util.Export(o)
+	}
 	if o != nil {
 		// Exact values, not rounded: the snapshot is the machine-readable
 		// record of the run, and run.weighted_value must equal the measured
@@ -212,6 +258,38 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if *showUtil {
+		fmt.Fprintln(out, "\nlink utilization (exact):")
+		lh, lrows := util.LinkRows()
+		if err := report.Table(out, lh, lrows); err != nil {
+			return err
+		}
+		if len(util.Ports) > 0 {
+			fmt.Fprintln(out, "\nport utilization:")
+			ph, prows := util.PortRows()
+			if err := report.Table(out, ph, prows); err != nil {
+				return err
+			}
+		}
+		if len(util.Storage) > 0 {
+			fmt.Fprintln(out, "\nstaging peaks:")
+			sh, srows := util.StorageRows()
+			if err := report.Table(out, sh, srows); err != nil {
+				return err
+			}
+		}
+		attr, err := utilization.Attribute(sc, res.Transfers, res.Satisfied)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nbottlenecks: %s\n", attr.Summary())
+		if len(attr.Bottlenecks) > 0 {
+			ah, arows := attr.Rows()
+			if err := report.Table(out, ah, arows); err != nil {
+				return err
+			}
+		}
+	}
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
 		if err != nil {
@@ -277,9 +355,32 @@ func run(args []string, out io.Writer) error {
 			}
 			fmt.Fprintf(out, "(event trace: %s, %d events)\n", *traceOut, o.Trace().Total())
 		}
+		if chromeSink != nil {
+			f, err := os.Create(*chromeOut)
+			if err != nil {
+				return err
+			}
+			if err := chrometrace.WriteFile(f, sc, res, chromeSink.Events()); err != nil {
+				f.Close()
+				return fmt.Errorf("-chrome-trace-out: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "(chrome trace: %s)\n", *chromeOut)
+		}
+	}
+	intro.SetPhase("done")
+	if testHookBeforeExit != nil {
+		testHookBeforeExit()
 	}
 	return nil
 }
+
+// testHookBeforeExit, when set by tests, runs after the report is written
+// but before run returns — while the introspection listeners are still
+// open.
+var testHookBeforeExit func()
 
 func loadScenario(path string, seed int64) (*scenario.Scenario, error) {
 	if path == "" {

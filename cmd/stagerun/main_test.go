@@ -3,8 +3,11 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -248,5 +251,119 @@ func TestRunPprofEndpointServes(t *testing.T) {
 	// and binding, TestMain-level serving is covered by the line above.
 	if err := run([]string{"-seed", "3", "-pprof-addr", "not-an-address"}, &buf); err == nil {
 		t.Error("bogus pprof address accepted")
+	}
+}
+
+func TestRunChromeTraceAndUtilization(t *testing.T) {
+	dir := t.TempDir()
+	chromePath := filepath.Join(dir, "run.json")
+	var buf bytes.Buffer
+	err := run([]string{"-seed", "7", "-chrome-trace-out", chromePath, "-utilization", "-explain", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			Cat string  `json:"cat"`
+			Dur float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	transfers := 0
+	for _, e := range tf.TraceEvents {
+		if e.Cat == "transfer" && e.Ph == "X" && e.Dur > 0 {
+			transfers++
+		}
+	}
+	if transfers == 0 {
+		t.Errorf("chrome trace has no transfer spans (%d events total)", len(tf.TraceEvents))
+	}
+	if !strings.Contains(buf.String(), "(chrome trace: ") {
+		t.Error("chrome trace path not announced")
+	}
+
+	out := buf.String()
+	for _, want := range []string{"link utilization (exact):", "busy frac", "bottlenecks:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-utilization output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunIntrospectServesLiveMetrics scrapes /metrics while run is still
+// inside (via the exit hook, with the listener open) and checks the
+// exposition's run_weighted_value matches the JSON snapshot bit for bit.
+func TestRunIntrospectServesLiveMetrics(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	var buf bytes.Buffer
+	var scraped string
+	var runinfo string
+	testHookBeforeExit = func() {
+		out := buf.String()
+		i := strings.Index(out, "introspect: http://")
+		if i < 0 {
+			t.Fatalf("introspect address not announced:\n%s", out)
+		}
+		addr := out[i+len("introspect: "):]
+		addr = strings.TrimSpace(addr[:strings.Index(addr, "\n")])
+		for path, dst := range map[string]*string{"metrics": &scraped, "runinfo": &runinfo} {
+			resp, err := http.Get(addr + path)
+			if err != nil {
+				t.Fatalf("scrape /%s: %v", path, err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			*dst = string(body)
+		}
+	}
+	defer func() { testHookBeforeExit = nil }()
+
+	err := run([]string{"-seed", "5", "-introspect-addr", "127.0.0.1:0", "-metrics-out", metricsPath}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Gauges map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	want := snap.Gauges["run.weighted_value"]
+	found := false
+	for _, line := range strings.Split(scraped, "\n") {
+		if !strings.HasPrefix(line, "run_weighted_value ") {
+			continue
+		}
+		found = true
+		got, err := strconv.ParseFloat(strings.TrimPrefix(line, "run_weighted_value "), 64)
+		if err != nil {
+			t.Fatalf("bad exposition line %q: %v", line, err)
+		}
+		if got != want {
+			t.Errorf("live run_weighted_value = %v, snapshot = %v (must be bit-exact)", got, want)
+		}
+	}
+	if !found {
+		t.Errorf("run_weighted_value missing from live /metrics:\n%s", scraped)
+	}
+	if !strings.Contains(runinfo, `"phase": "done"`) || !strings.Contains(runinfo, `"scenario": "gen-seed5"`) {
+		t.Errorf("runinfo incomplete:\n%s", runinfo)
 	}
 }

@@ -10,16 +10,14 @@
 //	         [-figures 2,3,4,5] [-extras] [-baseline] [-congestion]
 //	         [-csv DIR] [-height 16] [-quiet]
 //	         [-parallel N] [-plan-parallel N]
-//	         [-metrics-out FILE] [-trace-out FILE] [-pprof-addr ADDR]
+//	         [-metrics-out FILE] [-trace-out FILE] [-trace-ring N]
+//	         [-chrome-trace-out FILE] [-introspect-addr ADDR] [-pprof-addr ADDR]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -31,6 +29,8 @@ import (
 	"datastaging/internal/gen"
 	"datastaging/internal/model"
 	"datastaging/internal/obs"
+	"datastaging/internal/obs/chrometrace"
+	"datastaging/internal/obs/introspect"
 	"datastaging/internal/report"
 )
 
@@ -42,29 +42,35 @@ func main() {
 }
 
 type options struct {
-	cases        int
-	seed         int64
-	weights      string
-	figures      string
-	extras       bool
-	baseline     bool
-	congestion   bool
-	gamma        bool
-	failures     bool
-	serial       bool
-	extensions   bool
-	arrivals     bool
-	csvDir       string
-	height       int
-	quiet        bool
-	parallel     int
-	planParallel int
-	metricsOut   string
-	traceOut     string
-	pprofAddr    string
+	cases          int
+	seed           int64
+	weights        string
+	figures        string
+	extras         bool
+	baseline       bool
+	congestion     bool
+	gamma          bool
+	failures       bool
+	serial         bool
+	extensions     bool
+	arrivals       bool
+	csvDir         string
+	height         int
+	quiet          bool
+	parallel       int
+	planParallel   int
+	metricsOut     string
+	traceOut       string
+	traceRing      int
+	chromeOut      string
+	introspectAddr string
+	pprofAddr      string
 	// obs aggregates metrics (and optionally events) over every run of the
 	// invocation; nil when no observability flag was given.
 	obs *obs.Obs
+	// intro is the live introspection server (nil-safe: phases and run
+	// info are dropped when no debug address was given).
+	intro *introspect.Server
 }
 
 func run(args []string, out io.Writer) error {
@@ -89,20 +95,14 @@ func run(args []string, out io.Writer) error {
 	fs.IntVar(&o.planParallel, "plan-parallel", 0, "worker goroutines for forest replanning inside each run (0 = serial; raise for the single-threaded sweeps)")
 	fs.StringVar(&o.metricsOut, "metrics-out", "", "write a JSON metrics snapshot aggregated over the whole study to this file")
 	fs.StringVar(&o.traceOut, "trace-out", "", "stream scheduling events to this file as JSON lines (interleaved across concurrent runs; use -parallel 1 for a readable trace)")
+	fs.IntVar(&o.traceRing, "trace-ring", 0, "tracer recent-event ring capacity (0 = default)")
+	fs.StringVar(&o.chromeOut, "chrome-trace-out", "", "write one representative run (base-seed case, full_one/C4) as a Chrome trace-event JSON file (open in Perfetto)")
+	fs.StringVar(&o.introspectAddr, "introspect-addr", "", "serve /metrics, /events, /runinfo, /debug/pprof on this address while the study runs")
 	fs.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if o.pprofAddr != "" {
-		ln, err := net.Listen("tcp", o.pprofAddr)
-		if err != nil {
-			return fmt.Errorf("-pprof-addr: %w", err)
-		}
-		defer ln.Close()
-		fmt.Fprintf(out, "pprof: http://%s/debug/pprof/\n", ln.Addr())
-		go http.Serve(ln, nil) //nolint:errcheck // best-effort debug endpoint
-	}
 	var traceSink *obs.JSONLSink
 	if o.traceOut != "" {
 		f, err := os.Create(o.traceOut)
@@ -111,15 +111,43 @@ func run(args []string, out io.Writer) error {
 		}
 		defer f.Close()
 		traceSink = obs.NewJSONLSink(f)
-		o.obs = obs.NewTraced(traceSink)
-	} else if o.metricsOut != "" {
+		o.obs = obs.NewTraced(traceSink, obs.WithRingSize(o.traceRing))
+	} else if o.metricsOut != "" || o.introspectAddr != "" {
 		o.obs = obs.New()
+	}
+
+	// Both debug addresses serve the same introspection mux, so either one
+	// exposes /metrics, /events, /runinfo, and /debug/pprof.
+	o.intro = introspect.NewServer(o.obs)
+	if o.introspectAddr != "" {
+		ln, err := o.intro.Start(o.introspectAddr)
+		if err != nil {
+			return fmt.Errorf("-introspect-addr: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(out, "introspect: http://%s/\n", ln.Addr())
+	}
+	if o.pprofAddr != "" {
+		ln, err := o.intro.Start(o.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof-addr: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(out, "pprof: http://%s/debug/pprof/\n", ln.Addr())
 	}
 
 	schemes, err := weightSchemes(o.weights)
 	if err != nil {
 		return err
 	}
+	o.intro.SetRunInfo(introspect.RunInfo{
+		Scenario:  fmt.Sprintf("study: %d cases from seed %d", o.cases, o.seed),
+		Scheduler: "heuristic/criterion sweep",
+		Config: map[string]string{
+			"weights": o.weights, "figures": o.figures,
+			"cases": strconv.Itoa(o.cases),
+		},
+	})
 	results := make(map[string]*experiment.Result, len(schemes))
 	for _, ws := range schemes {
 		res, err := runStudy(o, ws)
@@ -161,6 +189,12 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if o.chromeOut != "" {
+		if err := writeChromeTrace(out, o, schemes[0].weights); err != nil {
+			return err
+		}
+	}
+	o.intro.SetPhase("done")
 	if o.obs != nil {
 		if o.metricsOut != "" {
 			f, err := os.Create(o.metricsOut)
@@ -187,6 +221,7 @@ func run(args []string, out io.Writer) error {
 }
 
 func runArrivals(out io.Writer, o options, w model.Weights) error {
+	o.intro.SetPhase("online-arrival sweep")
 	if !o.quiet {
 		fmt.Fprintln(os.Stderr, "running online-arrival sweep...")
 	}
@@ -202,6 +237,7 @@ func runArrivals(out io.Writer, o options, w model.Weights) error {
 }
 
 func runSerial(out io.Writer, o options, w model.Weights) error {
+	o.intro.SetPhase("parallel-vs-serial comparison")
 	if !o.quiet {
 		fmt.Fprintln(os.Stderr, "running parallel-vs-serial comparison...")
 	}
@@ -224,6 +260,7 @@ func runSerial(out io.Writer, o options, w model.Weights) error {
 }
 
 func runGamma(out io.Writer, o options, w model.Weights) error {
+	o.intro.SetPhase("gamma ablation")
 	if !o.quiet {
 		fmt.Fprintln(os.Stderr, "running gamma ablation...")
 	}
@@ -240,6 +277,7 @@ func runGamma(out io.Writer, o options, w model.Weights) error {
 }
 
 func runFailures(out io.Writer, o options, w model.Weights) error {
+	o.intro.SetPhase("failure resilience sweep")
 	if !o.quiet {
 		fmt.Fprintln(os.Stderr, "running failure resilience sweep...")
 	}
@@ -252,6 +290,44 @@ func runFailures(out io.Writer, o options, w model.Weights) error {
 	fmt.Fprintf(out, "\nLink-failure resilience (%v, %d cases per level):\n", pair, o.cases)
 	h, rows := report.FailureRows(points)
 	return report.Table(out, h, rows)
+}
+
+// writeChromeTrace renders one representative run — the base-seed case
+// under full_one/C4 at log10(E-U)=2, the study's reference configuration —
+// as a Chrome trace-event file. A whole study interleaves thousands of runs
+// over unrelated scenarios, which makes a merged timeline unreadable; one
+// deterministic run gives Perfetto something worth looking at.
+func writeChromeTrace(out io.Writer, o options, w model.Weights) error {
+	o.intro.SetPhase("chrome trace export")
+	sc, err := gen.Generate(gen.Default(), o.seed)
+	if err != nil {
+		return err
+	}
+	mem := &obs.MemorySink{}
+	res, err := core.Schedule(sc, core.Config{
+		Heuristic:   core.FullPathOneDest,
+		Criterion:   core.C4,
+		EU:          core.EUFromLog10(2),
+		Weights:     w,
+		Parallelism: 1,
+		Obs:         obs.NewTraced(mem, obs.WithRingSize(o.traceRing)),
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(o.chromeOut)
+	if err != nil {
+		return err
+	}
+	if err := chrometrace.WriteFile(f, sc, res, mem.Events()); err != nil {
+		f.Close()
+		return fmt.Errorf("-chrome-trace-out: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n(chrome trace: %s — %s, full_one/C4 at log10(E-U)=2)\n", o.chromeOut, sc.Name)
+	return nil
 }
 
 type weightScheme struct {
@@ -301,15 +377,22 @@ func runStudy(o options, ws weightScheme) (*experiment.Result, error) {
 	if o.extensions {
 		opts.Pairs = core.PairsWithExtensions()
 	}
+	var echo func(done, total int)
 	if !o.quiet {
 		fmt.Fprintf(os.Stderr, "running study (weights %s, %d cases)...\n", ws.name, o.cases)
 		lastPct := -1
-		opts.Progress = func(done, total int) {
+		echo = func(done, total int) {
 			pct := done * 100 / total
 			if pct/10 != lastPct/10 {
 				lastPct = pct
 				fmt.Fprintf(os.Stderr, "  %3d%% (%d/%d runs)\n", pct, done, total)
 			}
+		}
+	}
+	opts.Progress = func(done, total int) {
+		o.intro.SetPhase(fmt.Sprintf("study weights %s: %d/%d runs", ws.name, done, total))
+		if echo != nil {
+			echo(done, total)
 		}
 	}
 	return experiment.Run(opts)
@@ -391,6 +474,7 @@ func printWeightingComparison(out io.Writer, o options, schemes []weightScheme, 
 }
 
 func runCongestion(out io.Writer, o options, w model.Weights) error {
+	o.intro.SetPhase("congestion sweep")
 	if !o.quiet {
 		fmt.Fprintln(os.Stderr, "running congestion sweep...")
 	}

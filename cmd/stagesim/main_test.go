@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -114,5 +117,49 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-nonsense"}, &buf); err == nil {
 		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunChromeTraceAndIntrospect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real schedulers")
+	}
+	chromePath := filepath.Join(t.TempDir(), "study.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-cases", "1", "-quiet", "-figures", "", "-extras=false", "-baseline=false",
+		"-chrome-trace-out", chromePath, "-introspect-addr", "127.0.0.1:0",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "introspect: http://127.0.0.1:") {
+		t.Errorf("introspect address not announced:\n%s", out)
+	}
+	if !strings.Contains(out, "(chrome trace: ") {
+		t.Errorf("chrome trace not announced:\n%s", out)
+	}
+	data, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Cat string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	transfers := 0
+	for _, e := range tf.TraceEvents {
+		if e.Cat == "transfer" && e.Ph == "X" {
+			transfers++
+		}
+	}
+	if transfers == 0 {
+		t.Errorf("chrome trace has no transfer spans (%d events)", len(tf.TraceEvents))
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"datastaging/internal/gen"
 	"datastaging/internal/model"
 	"datastaging/internal/obs"
+	"datastaging/internal/report/utilization"
 	"datastaging/internal/state"
 )
 
@@ -108,6 +109,26 @@ func BenchmarkScheduleObserved(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Schedule(sc, cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleWithUtilization measures a full scheduling run plus the
+// exact utilization profile computed from its committed schedule — the
+// marginal price of the forensics report. Compare against
+// BenchmarkScheduleWithPlanCache (the same run without the profile).
+func BenchmarkScheduleWithUtilization(b *testing.B) {
+	sc := gen.MustGenerate(gen.Default(), 42)
+	cfg := Config{Heuristic: FullPathOneDest, Criterion: C4, EU: EUFromLog10(2), Weights: model.Weights1x10x100}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Schedule(sc, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p := utilization.Compute(sc, res.Transfers); p.TotalBusy <= 0 {
+			b.Fatal("empty utilization profile")
 		}
 	}
 }

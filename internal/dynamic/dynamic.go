@@ -186,15 +186,17 @@ func rebuild(sc *scenario.Scenario, history []state.Transfer,
 }
 
 // observeEpoch records one completed epoch replan: a counter per replan,
-// a counter for transfers newly aborted at this epoch, and an
-// EvEpochReplan event carrying the epoch instant and the abort count.
-// A nil Obs makes every call a no-op.
+// a counter for transfers newly aborted at this epoch, a gauge holding the
+// current epoch instant (so a live /metrics scrape shows how far the
+// simulation has advanced), and an EvEpochReplan event carrying the epoch
+// instant and the abort count. A nil Obs makes every call a no-op.
 func observeEpoch(o *obs.Obs, at simtime.Instant, aborted int) {
 	if o == nil {
 		return
 	}
 	o.Counter("dynamic.replans_total").Inc()
 	o.Counter("dynamic.aborted_transfers_total").Add(int64(aborted))
+	o.Gauge("dynamic.current_epoch_seconds").Set(at.Seconds())
 	if tr := o.Trace(); tr.Enabled() {
 		tr.Emit(obs.Event{Kind: obs.EvEpochReplan, At: int64(at), N: aborted})
 	}

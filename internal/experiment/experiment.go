@@ -19,6 +19,7 @@ import (
 	"datastaging/internal/gen"
 	"datastaging/internal/model"
 	"datastaging/internal/obs"
+	"datastaging/internal/report/utilization"
 	"datastaging/internal/scenario"
 )
 
@@ -144,6 +145,10 @@ type PointAggregate struct {
 	// MeanSatisfied and MeanTransfers are mean counts.
 	MeanSatisfied float64
 	MeanTransfers float64
+	// MeanBottleneckBusy is the mean (over cases) busy fraction of each
+	// run's most-utilized link — how saturated the schedule's bottleneck
+	// was at this sweep point.
+	MeanBottleneckBusy float64
 }
 
 // PairSweep is one pair's full E-U sweep.
@@ -208,6 +213,7 @@ func Run(opts Options) (*Result, error) {
 
 	nP, nS, nC := len(opts.Pairs), len(opts.Sweep), opts.NumCases
 	runs := make([]eval.Metrics, nP*nS*nC)
+	bneck := make([]float64, nP*nS*nC)
 	caseBounds := make([]boundsRow, nC)
 	mRuns := opts.Obs.Counter("experiment.runs_total")
 	hRunSeconds := opts.Obs.Histogram("experiment.run_seconds", obs.DurationBuckets)
@@ -260,6 +266,7 @@ func Run(opts Options) (*Result, error) {
 					mRuns.Inc()
 					hRunSeconds.Observe(res.Elapsed.Seconds())
 					runs[(pi*nS+si)*nC+ci] = eval.Measure(cases[ci], res, opts.Weights)
+					bneck[(pi*nS+si)*nC+ci] = utilization.Compute(cases[ci], res.Transfers).MaxLinkBusyFraction
 					return nil
 				}
 			}
@@ -273,7 +280,7 @@ func Run(opts Options) (*Result, error) {
 	default:
 	}
 
-	return aggregate(opts, cases, runs, caseBounds, begin), nil
+	return aggregate(opts, cases, runs, bneck, caseBounds, begin), nil
 }
 
 func generateCases(opts Options) ([]*scenario.Scenario, error) {
@@ -317,7 +324,7 @@ func runBounds(sc *scenario.Scenario, opts Options, seed int64, row *boundsRow) 
 	return nil
 }
 
-func aggregate(opts Options, cases []*scenario.Scenario, runs []eval.Metrics, caseBounds []boundsRow, begin time.Time) *Result {
+func aggregate(opts Options, cases []*scenario.Scenario, runs []eval.Metrics, bneck []float64, caseBounds []boundsRow, begin time.Time) *Result {
 	nP, nS, nC := len(opts.Pairs), len(opts.Sweep), opts.NumCases
 	out := &Result{
 		Weights:     opts.Weights,
@@ -331,7 +338,8 @@ func aggregate(opts Options, cases []*scenario.Scenario, runs []eval.Metrics, ca
 	for pi := range opts.Pairs {
 		ps := PairSweep{Pair: opts.Pairs[pi], Points: make([]PointAggregate, nS)}
 		for si := 0; si < nS; si++ {
-			ps.Points[si] = aggregatePoint(runs[(pi*nS+si)*nC : (pi*nS+si)*nC+nC])
+			base := (pi*nS + si) * nC
+			ps.Points[si] = aggregatePoint(runs[base:base+nC], bneck[base:base+nC])
 		}
 		out.Pairs[pi] = ps
 	}
@@ -356,9 +364,9 @@ func aggregate(opts Options, cases []*scenario.Scenario, runs []eval.Metrics, ca
 	return out
 }
 
-func aggregatePoint(ms []eval.Metrics) PointAggregate {
+func aggregatePoint(ms []eval.Metrics, bneck []float64) PointAggregate {
 	values := make([]float64, len(ms))
-	var hops, dijkstras, satisfied, transfers float64
+	var hops, dijkstras, satisfied, transfers, busy float64
 	var elapsed time.Duration
 	for i := range ms {
 		values[i] = ms[i].WeightedValue
@@ -367,6 +375,7 @@ func aggregatePoint(ms []eval.Metrics) PointAggregate {
 		satisfied += float64(ms[i].SatisfiedCount)
 		transfers += float64(ms[i].Transfers)
 		elapsed += ms[i].Elapsed
+		busy += bneck[i]
 	}
 	n := float64(len(ms))
 	return PointAggregate{
@@ -377,6 +386,7 @@ func aggregatePoint(ms []eval.Metrics) PointAggregate {
 		MeanDijkstraRuns:    dijkstras / n,
 		MeanSatisfied:       satisfied / n,
 		MeanTransfers:       transfers / n,
+		MeanBottleneckBusy:  busy / n,
 	}
 }
 

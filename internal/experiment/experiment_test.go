@@ -99,6 +99,12 @@ func TestRunStudy(t *testing.T) {
 			if pt.MeanSatisfied > 0 && pt.MeanHops <= 0 {
 				t.Errorf("%v point %d: satisfied requests but zero hops", ps.Pair, si)
 			}
+			if pt.MeanBottleneckBusy < 0 || pt.MeanBottleneckBusy > 1 {
+				t.Errorf("%v point %d: bottleneck busy %v outside [0,1]", ps.Pair, si, pt.MeanBottleneckBusy)
+			}
+			if pt.MeanTransfers > 0 && pt.MeanBottleneckBusy == 0 {
+				t.Errorf("%v point %d: transfers committed but bottleneck busy is zero", ps.Pair, si)
+			}
 		}
 	}
 	// Lookup helper.

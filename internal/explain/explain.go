@@ -112,6 +112,34 @@ func Diagnose(sc *scenario.Scenario, transfers []state.Transfer, id model.Reques
 	return rep, nil
 }
 
+// BlamedLink picks the single link a starved request's failure is charged
+// to: the ideal-path link whose blockers overlapped the request's ideal
+// slot the longest (ties: lowest link ID), along with the total overlap.
+// ok is false when the report has no overlapping blockers (starved purely
+// by capacity or windows, not link contention) — including for any verdict
+// other than Starved, where Blockers is empty by construction.
+func (r *Report) BlamedLink() (link model.LinkID, blocked time.Duration, ok bool) {
+	overlap := make(map[model.LinkID]time.Duration)
+	for _, h := range r.IdealPath {
+		want := simtime.Span(h.Start, h.Dur)
+		for _, tr := range r.Blockers {
+			if tr.Link != h.Link {
+				continue
+			}
+			overlap[h.Link] += simtime.Span(tr.Start, tr.Duration).Intersect(want).Length()
+		}
+	}
+	for l, d := range overlap {
+		if d == 0 {
+			continue
+		}
+		if !ok || d > blocked || (d == blocked && l < link) {
+			link, blocked, ok = l, d, true
+		}
+	}
+	return link, blocked, ok
+}
+
 // blockers collects other items' transfers that occupy the ideal path's
 // links at or before the times the ideal plan wanted them — the contention
 // that displaced this request.

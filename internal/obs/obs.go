@@ -13,13 +13,44 @@ type Obs struct {
 	Tracer *Tracer
 }
 
+// Option configures an Obs at construction time.
+type Option func(*options)
+
+type options struct {
+	ringSize int
+}
+
+// WithRingSize sets the tracer's recent-event ring capacity (default
+// DefaultRingSize). Values ≤ 0 keep the default. Only meaningful with
+// NewTraced; New has no tracer.
+func WithRingSize(n int) Option {
+	return func(o *options) { o.ringSize = n }
+}
+
 // New returns an Obs with a fresh registry and no tracer.
-func New() *Obs { return &Obs{Metrics: NewRegistry()} }
+func New(opts ...Option) *Obs {
+	applyOptions(opts)
+	return &Obs{Metrics: NewRegistry()}
+}
 
 // NewTraced returns an Obs with a fresh registry and a tracer forwarding
-// to sink (Discard and MemorySink are common choices).
-func NewTraced(sink Sink) *Obs {
-	return &Obs{Metrics: NewRegistry(), Tracer: NewTracer(0, sink)}
+// to sink (Discard and MemorySink are common choices). Events that fall
+// out of the tracer's recent-event ring increment the registry's
+// trace.dropped_events_total counter, so a truncated ring is visible in
+// every snapshot rather than silent.
+func NewTraced(sink Sink, opts ...Option) *Obs {
+	cfg := applyOptions(opts)
+	o := &Obs{Metrics: NewRegistry(), Tracer: NewTracer(cfg.ringSize, sink)}
+	o.Tracer.droppedCounter = o.Metrics.Counter("trace.dropped_events_total")
+	return o
+}
+
+func applyOptions(opts []Option) options {
+	var cfg options
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
 }
 
 // Counter returns the named counter (disabled when o is nil).

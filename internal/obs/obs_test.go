@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -234,6 +235,129 @@ func TestSnapshotWriteJSON(t *testing.T) {
 	}
 	if h := back.Histograms["core.replan_seconds"]; h.Count != 1 {
 		t.Errorf("histogram lost: %+v", h)
+	}
+}
+
+func TestWithRingSizeAndDroppedCounter(t *testing.T) {
+	o := NewTraced(Discard, WithRingSize(2))
+	if got := o.Tracer.RingSize(); got != 2 {
+		t.Fatalf("ring size = %d, want 2", got)
+	}
+	for i := 0; i < 5; i++ {
+		o.Tracer.Emit(Event{Kind: EvIteration, N: i})
+	}
+	if got := o.Tracer.Dropped(); got != 3 {
+		t.Errorf("dropped = %d, want 3", got)
+	}
+	if got := o.Snapshot().Counters["trace.dropped_events_total"]; got != 3 {
+		t.Errorf("trace.dropped_events_total = %d, want 3", got)
+	}
+	if got := o.Tracer.Total(); got != 5 {
+		t.Errorf("total = %d, want 5", got)
+	}
+	if got := len(o.Tracer.Recent()); got != 2 {
+		t.Errorf("recent = %d events, want 2", got)
+	}
+
+	// Default size when the option is omitted or non-positive.
+	if got := NewTraced(Discard).Tracer.RingSize(); got != DefaultRingSize {
+		t.Errorf("default ring size = %d, want %d", got, DefaultRingSize)
+	}
+	if got := NewTraced(Discard, WithRingSize(-1)).Tracer.RingSize(); got != DefaultRingSize {
+		t.Errorf("ring size with -1 = %d, want %d", got, DefaultRingSize)
+	}
+	var nilT *Tracer
+	if nilT.Dropped() != 0 || nilT.RingSize() != 0 {
+		t.Error("nil tracer reports dropped events or a ring")
+	}
+}
+
+func TestTeeSink(t *testing.T) {
+	a, b := &MemorySink{}, &MemorySink{}
+	tee := Tee(a, nil, b)
+	tee.Emit(Event{Kind: EvIteration})
+	tee.Emit(Event{Kind: EvItemDead})
+	if a.Count(EvIteration) != 1 || b.Count(EvIteration) != 1 || b.Count(EvItemDead) != 1 {
+		t.Errorf("tee did not fan out: a=%v b=%v", a.Events(), b.Events())
+	}
+	if got := Tee(); got != Discard {
+		t.Error("empty Tee should be Discard")
+	}
+	if got := Tee(nil, a); got != Sink(a) {
+		t.Error("single-sink Tee should unwrap")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	o := New()
+	o.Counter("state.slot_query_total").Add(42)
+	v := math.Nextafter(987.5, 1000) // awkward float: must round-trip bit-exactly
+	o.Gauge("run.weighted_value").Set(v)
+	h := o.Histogram("h", []float64{1, 10, 100})
+	for _, x := range []float64{0.5, 1, 2, 10, 11, 1000} {
+		h.Observe(x)
+	}
+	var buf bytes.Buffer
+	if err := o.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	wantLines := []string{
+		"# TYPE state_slot_query_total counter",
+		"state_slot_query_total 42",
+		"# TYPE run_weighted_value gauge",
+		"# TYPE h histogram",
+		`h_bucket{le="1"} 2`,   // cumulative: {0.5, 1}
+		`h_bucket{le="10"} 4`,  // + {2, 10}
+		`h_bucket{le="100"} 5`, // + {11}
+		`h_bucket{le="+Inf"} 6`,
+		"h_count 6",
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// Bit-exact gauge round-trip through the text format.
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "run_weighted_value ") {
+			continue
+		}
+		back, err := strconv.ParseFloat(strings.TrimPrefix(line, "run_weighted_value "), 64)
+		if err != nil {
+			t.Fatalf("gauge value does not parse: %v", err)
+		}
+		if back != v {
+			t.Errorf("gauge round-trip %v != %v", back, v)
+		}
+	}
+
+	// Every non-comment line must match "name value".
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"run.weighted_value":         "run_weighted_value",
+		"trace.dropped_events_total": "trace_dropped_events_total",
+		"ok_name":                    "ok_name",
+		"9leading":                   "_leading",
+		"a-b c":                      "a_b_c",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
 	}
 }
 

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Metric names are mangled to the Prometheus
+// grammar — '.' becomes '_', any other invalid rune likewise — so the
+// registry's "run.weighted_value" gauge is exposed as
+// "run_weighted_value". Values round-trip bit-exactly: floats are
+// formatted with the shortest representation that parses back to the same
+// float64. Output is deterministic (names sorted within each metric
+// family kind).
+//
+// Histograms are registered with per-bucket counts (counts[i] is the
+// number of observations in (bounds[i-1], bounds[i]]); Prometheus buckets
+// are cumulative, so the renderer accumulates them and appends the
+// mandatory le="+Inf" bucket, _sum, and _count series.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		bw.WriteString("# TYPE " + pn + " counter\n")
+		bw.WriteString(pn + " " + strconv.FormatInt(s.Counters[name], 10) + "\n")
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		bw.WriteString("# TYPE " + pn + " gauge\n")
+		bw.WriteString(pn + " " + promFloat(s.Gauges[name]) + "\n")
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := promName(name)
+		bw.WriteString("# TYPE " + pn + " histogram\n")
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			bw.WriteString(pn + `_bucket{le="` + promFloat(bound) + `"} ` +
+				strconv.FormatInt(cum, 10) + "\n")
+		}
+		bw.WriteString(pn + `_bucket{le="+Inf"} ` + strconv.FormatInt(h.Count, 10) + "\n")
+		bw.WriteString(pn + "_sum " + promFloat(h.Sum) + "\n")
+		bw.WriteString(pn + "_count " + strconv.FormatInt(h.Count, 10) + "\n")
+	}
+
+	return bw.Flush()
+}
+
+// promName maps a registry metric name onto the Prometheus name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*, replacing every invalid rune with '_'.
+func promName(name string) string {
+	out := []byte(name)
+	for i := 0; i < len(out); i++ {
+		c := out[i]
+		ok := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			('0' <= c && c <= '9' && i > 0)
+		if !ok {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// promFloat formats v with the shortest decimal representation that
+// parses back to the identical float64, so scraped values match reported
+// ones bit for bit.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -225,6 +225,33 @@ func (s *JSONLSink) Close() error {
 	return s.err
 }
 
+// Tee returns a sink fanning every event out to each of sinks in order.
+// Nil sinks are skipped; with zero (or all-nil) sinks the result behaves
+// like Discard. A single non-nil sink is returned unwrapped.
+func Tee(sinks ...Sink) Sink {
+	kept := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return Discard
+	case 1:
+		return kept[0]
+	}
+	return teeSink(kept)
+}
+
+type teeSink []Sink
+
+func (t teeSink) Emit(e Event) {
+	for _, s := range t {
+		s.Emit(e)
+	}
+}
+
 // DefaultRingSize is how many recent events a Tracer retains for
 // post-mortem inspection.
 const DefaultRingSize = 4096
@@ -236,11 +263,18 @@ const DefaultRingSize = 4096
 // value (the fast path the BenchmarkScheduleWithPlanCache acceptance bound
 // holds against).
 type Tracer struct {
-	mu    sync.Mutex
-	sink  Sink
-	ring  []Event
-	next  int
-	total uint64
+	mu      sync.Mutex
+	sink    Sink
+	ring    []Event
+	next    int
+	total   uint64
+	dropped uint64
+
+	// droppedCounter, when set (NewTraced wires it to the registry's
+	// trace.dropped_events_total), mirrors the dropped count into the
+	// metrics snapshot so ring truncation is visible alongside every
+	// other metric.
+	droppedCounter *Counter
 }
 
 // NewTracer returns a tracer with the given ring capacity (DefaultRingSize
@@ -267,6 +301,8 @@ func (t *Tracer) Emit(e Event) {
 	} else {
 		t.ring[t.next] = e
 		t.next = (t.next + 1) % cap(t.ring)
+		t.dropped++
+		t.droppedCounter.Inc()
 	}
 	t.total++
 	if t.sink != nil {
@@ -284,6 +320,26 @@ func (t *Tracer) Total() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.total
+}
+
+// Dropped returns how many events have been overwritten out of the ring —
+// emitted, forwarded to the sink, but no longer retrievable via Recent.
+// Zero on a nil receiver.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// RingSize returns the ring capacity (zero on a nil receiver).
+func (t *Tracer) RingSize() int {
+	if t == nil {
+		return 0
+	}
+	return cap(t.ring)
 }
 
 // Recent returns the ring-buffered events, oldest first (nil on a nil

@@ -79,9 +79,10 @@ func BoundsRows(res *experiment.Result) ([]string, [][]string) {
 
 // ExtrasRows renders the technical-report extras for every pair at its best
 // sweep point: weighted value with min/max band, mean hops per satisfied
-// request, mean Dijkstra executions, and mean heuristic execution time.
+// request, mean Dijkstra executions, mean heuristic execution time, and the
+// mean busy fraction of each run's bottleneck link.
 func ExtrasRows(res *experiment.Result) ([]string, [][]string) {
-	headers := []string{"pair", "best E-U", "mean", "min", "max", "hops", "dijkstras", "exec time"}
+	headers := []string{"pair", "best E-U", "mean", "min", "max", "hops", "dijkstras", "exec time", "bneck busy"}
 	var rows [][]string
 	for i := range res.Pairs {
 		ps := &res.Pairs[i]
@@ -96,6 +97,7 @@ func ExtrasRows(res *experiment.Result) ([]string, [][]string) {
 			fmt.Sprintf("%.2f", pt.MeanHops),
 			fmt.Sprintf("%.0f", pt.MeanDijkstraRuns),
 			pt.MeanElapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.3f", pt.MeanBottleneckBusy),
 		})
 	}
 	return headers, rows

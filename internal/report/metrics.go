@@ -8,9 +8,11 @@ import (
 )
 
 // MetricsRows renders a metrics snapshot as table rows, one instrument per
-// row sorted by name, for the CLI's post-run summary. Counters print their
-// value, gauges their current reading, histograms their observation count,
-// mean, and total.
+// row sorted by (name, type), for the CLI's post-run summary. Counters
+// print their value, gauges their current reading, histograms their
+// observation count, mean, and total. The order is fully deterministic
+// even when a counter, gauge, and histogram share a name — the type breaks
+// the tie — so -metrics-out-style output diffs cleanly across runs.
 func MetricsRows(snap obs.Snapshot) ([]string, [][]string) {
 	headers := []string{"metric", "type", "value"}
 	type entry struct {
@@ -28,7 +30,12 @@ func MetricsRows(snap obs.Snapshot) ([]string, [][]string) {
 		entries = append(entries, entry{name, []string{name, "histogram",
 			fmt.Sprintf("n=%d mean=%.4g sum=%.4g", h.Count, h.Mean(), h.Sum)}})
 	}
-	sort.Slice(entries, func(a, b int) bool { return entries[a].name < entries[b].name })
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].name != entries[b].name {
+			return entries[a].name < entries[b].name
+		}
+		return entries[a].row[1] < entries[b].row[1]
+	})
 	rows := make([][]string, len(entries))
 	for i := range entries {
 		rows[i] = entries[i].row

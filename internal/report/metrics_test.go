@@ -54,6 +54,37 @@ func TestMetricsRows(t *testing.T) {
 	}
 }
 
+func TestMetricsRowsDeterministicOnNameTies(t *testing.T) {
+	// A counter, gauge, and histogram sharing one name used to land in
+	// map-iteration order; the type column must break the tie.
+	render := func() [][]string {
+		o := obs.New()
+		o.Counter("shared").Inc()
+		o.Gauge("shared").Set(1)
+		o.Histogram("shared", obs.CountBuckets).Observe(1)
+		_, rows := MetricsRows(o.Snapshot())
+		return rows
+	}
+	first := render()
+	if len(first) != 3 {
+		t.Fatalf("expected 3 rows, got %v", first)
+	}
+	wantTypes := []string{"counter", "gauge", "histogram"}
+	for i, row := range first {
+		if row[1] != wantTypes[i] {
+			t.Fatalf("tie order = %v, want types %v", first, wantTypes)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		again := render()
+		for i := range first {
+			if first[i][1] != again[i][1] {
+				t.Fatalf("row order not deterministic: %v vs %v", first, again)
+			}
+		}
+	}
+}
+
 func TestMetricsRowsEmpty(t *testing.T) {
 	_, rows := MetricsRows(obs.Snapshot{})
 	if len(rows) != 0 {

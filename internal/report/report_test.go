@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -155,8 +156,14 @@ func TestFigureAssemblers(t *testing.T) {
 	if len(rows) != 11 {
 		t.Errorf("ExtrasRows: got %d rows, want 11", len(rows))
 	}
-	if len(h) != 8 {
+	if len(h) != 9 || h[len(h)-1] != "bneck busy" {
 		t.Errorf("ExtrasRows headers: %v", h)
+	}
+	for _, row := range rows {
+		busy, err := strconv.ParseFloat(row[len(row)-1], 64)
+		if err != nil || busy < 0 || busy > 1 {
+			t.Errorf("ExtrasRows bottleneck busy %q not a fraction: %v", row[len(row)-1], err)
+		}
 	}
 	h, rows = PriorityFirstRows(res)
 	if len(rows) != 12 { // baseline + 11 pairs

@@ -1,0 +1,311 @@
+// Package utilization computes exact per-resource utilization profiles of
+// a committed schedule: for every virtual link (and, in serialized
+// scenarios, every machine port) the busy time as a fraction of its
+// availability window, for every machine the peak bytes staged, and a
+// bottleneck-attribution table that aggregates, over every unsatisfied
+// request, which link's saturation the explain diagnosis blames. The paper
+// frames its heuristics as ways to spend scarce link-seconds in an
+// oversubscribed network; this package measures where they were actually
+// spent.
+//
+// Everything here is derived from the scenario and the committed
+// []state.Transfer, so a profile can be computed for any finished run —
+// static or dynamic — without access to the planner's internal state. The
+// invariant tests cross-check the arithmetic against the resource
+// timelines a replay of the schedule produces.
+package utilization
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"datastaging/internal/model"
+	"datastaging/internal/obs"
+	"datastaging/internal/scenario"
+	"datastaging/internal/simtime"
+	"datastaging/internal/state"
+)
+
+// LinkProfile is one virtual link's share of the schedule.
+type LinkProfile struct {
+	Link model.LinkID
+	From model.MachineID
+	To   model.MachineID
+	// Transfers is how many committed transfers used the link.
+	Transfers int
+	// Busy is the total committed transmission time; Window the length of
+	// the link's availability window. Busy never exceeds Window (the link
+	// is a serial resource and every transfer fits inside the window).
+	Busy   time.Duration
+	Window time.Duration
+	// BusyFraction is Busy/Window (zero for a zero-length window).
+	BusyFraction float64
+}
+
+// PortDir distinguishes a machine's send port from its receive port.
+type PortDir int
+
+// The two port directions.
+const (
+	Send PortDir = iota
+	Recv
+)
+
+// String names the direction.
+func (d PortDir) String() string {
+	if d == Send {
+		return "send"
+	}
+	return "recv"
+}
+
+// PortProfile is one machine port's share of a serialized schedule. Ports
+// exist the whole run, so the busy fraction is taken over the scenario
+// horizon.
+type PortProfile struct {
+	Machine      model.MachineID
+	Dir          PortDir
+	Transfers    int
+	Busy         time.Duration
+	BusyFraction float64
+}
+
+// StorageProfile is one machine's staging high-water mark: the peak bytes
+// simultaneously reserved for staged copies (initial source copies are
+// not charged, mirroring model.Machine.CapacityBytes semantics).
+type StorageProfile struct {
+	Machine       model.MachineID
+	PeakBytes     int64
+	CapacityBytes int64
+	// PeakFraction is PeakBytes/CapacityBytes (zero for zero capacity).
+	PeakFraction float64
+}
+
+// Profile is the full utilization picture of one committed schedule.
+type Profile struct {
+	// Links has one entry per virtual link the schedule used, ordered by
+	// link ID. Idle links are omitted.
+	Links []LinkProfile
+	// Ports has send/receive port profiles (serialized scenarios only),
+	// ordered by (machine, direction). Idle ports are omitted.
+	Ports []PortProfile
+	// Storage has one entry per machine that staged at least one copy,
+	// ordered by machine ID.
+	Storage []StorageProfile
+
+	// TotalBusy is the sum of committed transfer durations across every
+	// link — the schedule's total spent link-seconds.
+	TotalBusy time.Duration
+	// MaxLinkBusyFraction and MeanLinkBusyFraction summarize the used
+	// links' busy fractions; BottleneckLink is the most-utilized link
+	// (lowest ID on ties), -1 when the schedule is empty.
+	MaxLinkBusyFraction  float64
+	MeanLinkBusyFraction float64
+	BottleneckLink       model.LinkID
+}
+
+// Compute derives the utilization profile of a committed schedule.
+func Compute(sc *scenario.Scenario, transfers []state.Transfer) *Profile {
+	p := &Profile{BottleneckLink: -1}
+
+	busy := make(map[model.LinkID]*LinkProfile)
+	for _, tr := range transfers {
+		lp, ok := busy[tr.Link]
+		if !ok {
+			l := sc.Network.Link(tr.Link)
+			lp = &LinkProfile{Link: tr.Link, From: l.From, To: l.To, Window: l.Window.Length()}
+			busy[tr.Link] = lp
+		}
+		lp.Transfers++
+		lp.Busy += tr.Duration
+		p.TotalBusy += tr.Duration
+	}
+	p.Links = make([]LinkProfile, 0, len(busy))
+	for _, lp := range busy {
+		if lp.Window > 0 {
+			lp.BusyFraction = lp.Busy.Seconds() / lp.Window.Seconds()
+		}
+		p.Links = append(p.Links, *lp)
+	}
+	sort.Slice(p.Links, func(a, b int) bool { return p.Links[a].Link < p.Links[b].Link })
+
+	var sum float64
+	for i := range p.Links {
+		lp := &p.Links[i]
+		sum += lp.BusyFraction
+		if lp.BusyFraction > p.MaxLinkBusyFraction || p.BottleneckLink < 0 {
+			p.MaxLinkBusyFraction = lp.BusyFraction
+			p.BottleneckLink = lp.Link
+		}
+	}
+	if len(p.Links) > 0 {
+		p.MeanLinkBusyFraction = sum / float64(len(p.Links))
+	}
+
+	if sc.SerialTransfers {
+		p.Ports = portProfiles(sc, transfers)
+	}
+	p.Storage = storageProfiles(sc, transfers)
+	return p
+}
+
+func portProfiles(sc *scenario.Scenario, transfers []state.Transfer) []PortProfile {
+	type key struct {
+		m   model.MachineID
+		dir PortDir
+	}
+	acc := make(map[key]*PortProfile)
+	add := func(m model.MachineID, dir PortDir, d time.Duration) {
+		k := key{m, dir}
+		pp, ok := acc[k]
+		if !ok {
+			pp = &PortProfile{Machine: m, Dir: dir}
+			acc[k] = pp
+		}
+		pp.Transfers++
+		pp.Busy += d
+	}
+	for _, tr := range transfers {
+		add(tr.From, Send, tr.Duration)
+		add(tr.To, Recv, tr.Duration)
+	}
+	out := make([]PortProfile, 0, len(acc))
+	horizon := sc.Horizon.Seconds()
+	for _, pp := range acc {
+		if horizon > 0 {
+			pp.BusyFraction = pp.Busy.Seconds() / horizon
+		}
+		out = append(out, *pp)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Machine != out[b].Machine {
+			return out[a].Machine < out[b].Machine
+		}
+		return out[a].Dir < out[b].Dir
+	})
+	return out
+}
+
+// storageProfiles computes each machine's peak staged bytes by sweeping
+// the reservation deltas a replay of the schedule would make: +size at
+// arrival, -size when the copy is released (never for destination copies,
+// the GC instant for intermediates — state.HoldEnd semantics).
+func storageProfiles(sc *scenario.Scenario, transfers []state.Transfer) []StorageProfile {
+	type delta struct {
+		at    simtime.Instant
+		bytes int64
+	}
+	deltas := make(map[model.MachineID][]delta)
+	for _, tr := range transfers {
+		it := sc.Item(tr.Item)
+		end := sc.GCInstant(it)
+		for _, rq := range it.Requests {
+			if rq.Machine == tr.To {
+				end = simtime.Forever
+				break
+			}
+		}
+		deltas[tr.To] = append(deltas[tr.To], delta{tr.Arrival, it.SizeBytes})
+		if end != simtime.Forever {
+			deltas[tr.To] = append(deltas[tr.To], delta{end, -it.SizeBytes})
+		}
+	}
+	out := make([]StorageProfile, 0, len(deltas))
+	for m, ds := range deltas {
+		// Releases sort before arrivals at the same instant: capacity
+		// intervals are half-open, so a copy ending at t frees its bytes
+		// for one arriving at t.
+		sort.Slice(ds, func(a, b int) bool {
+			if ds[a].at != ds[b].at {
+				return ds[a].at < ds[b].at
+			}
+			return ds[a].bytes < ds[b].bytes
+		})
+		var level, peak int64
+		for _, d := range ds {
+			level += d.bytes
+			if level > peak {
+				peak = level
+			}
+		}
+		sp := StorageProfile{
+			Machine:       m,
+			PeakBytes:     peak,
+			CapacityBytes: sc.Network.Machines[m].CapacityBytes,
+		}
+		if sp.CapacityBytes > 0 {
+			sp.PeakFraction = float64(sp.PeakBytes) / float64(sp.CapacityBytes)
+		}
+		out = append(out, sp)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Machine < out[b].Machine })
+	return out
+}
+
+// Export publishes the profile's summary as util.* gauges so it appears in
+// metrics snapshots, report.MetricsRows tables, and the introspection
+// server's /metrics exposition. Nil-safe on o.
+func (p *Profile) Export(o *obs.Obs) {
+	o.Gauge("util.links_used").Set(float64(len(p.Links)))
+	o.Gauge("util.total_link_busy_seconds").Set(p.TotalBusy.Seconds())
+	o.Gauge("util.max_link_busy_fraction").Set(p.MaxLinkBusyFraction)
+	o.Gauge("util.mean_link_busy_fraction").Set(p.MeanLinkBusyFraction)
+	o.Gauge("util.bottleneck_link").Set(float64(p.BottleneckLink))
+	var peak float64
+	for _, sp := range p.Storage {
+		if sp.PeakFraction > peak {
+			peak = sp.PeakFraction
+		}
+	}
+	o.Gauge("util.max_storage_peak_fraction").Set(peak)
+}
+
+// LinkRows renders the per-link profile as text-report table rows.
+func (p *Profile) LinkRows() ([]string, [][]string) {
+	headers := []string{"link", "route", "transfers", "busy", "window", "busy frac"}
+	rows := make([][]string, 0, len(p.Links))
+	for _, lp := range p.Links {
+		rows = append(rows, []string{
+			fmt.Sprintf("L%d", lp.Link),
+			fmt.Sprintf("m%d→m%d", lp.From, lp.To),
+			fmt.Sprintf("%d", lp.Transfers),
+			lp.Busy.Round(time.Millisecond).String(),
+			lp.Window.String(),
+			fmt.Sprintf("%.3f", lp.BusyFraction),
+		})
+	}
+	return headers, rows
+}
+
+// PortRows renders the per-port profile as table rows (empty for
+// non-serialized scenarios).
+func (p *Profile) PortRows() ([]string, [][]string) {
+	headers := []string{"machine", "port", "transfers", "busy", "busy frac"}
+	rows := make([][]string, 0, len(p.Ports))
+	for _, pp := range p.Ports {
+		rows = append(rows, []string{
+			fmt.Sprintf("m%d", pp.Machine),
+			pp.Dir.String(),
+			fmt.Sprintf("%d", pp.Transfers),
+			pp.Busy.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.3f", pp.BusyFraction),
+		})
+	}
+	return headers, rows
+}
+
+// StorageRows renders the per-machine staging peaks as table rows.
+func (p *Profile) StorageRows() ([]string, [][]string) {
+	headers := []string{"machine", "peak staged", "capacity", "peak frac"}
+	rows := make([][]string, 0, len(p.Storage))
+	for _, sp := range p.Storage {
+		rows = append(rows, []string{
+			fmt.Sprintf("m%d", sp.Machine),
+			fmt.Sprintf("%d", sp.PeakBytes),
+			fmt.Sprintf("%d", sp.CapacityBytes),
+			fmt.Sprintf("%.3f", sp.PeakFraction),
+		})
+	}
+	return headers, rows
+}

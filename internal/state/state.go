@@ -180,6 +180,24 @@ func (st *State) LinkTimeline(id model.LinkID) *resource.LinkTimeline { return s
 // SerialTransfers reports whether per-machine port serialization is on.
 func (st *State) SerialTransfers() bool { return st.sendPort != nil }
 
+// SendPortTimeline returns the occupancy timeline of one machine's send
+// port, or nil when the scenario does not serialize transfers. Callers
+// must not commit to it directly; use Commit.
+func (st *State) SendPortTimeline(m model.MachineID) *resource.LinkTimeline {
+	if st.sendPort == nil {
+		return nil
+	}
+	return st.sendPort[m]
+}
+
+// RecvPortTimeline is SendPortTimeline for the receive port.
+func (st *State) RecvPortTimeline(m model.MachineID) *resource.LinkTimeline {
+	if st.recvPort == nil {
+		return nil
+	}
+	return st.recvPort[m]
+}
+
 // SetObs wires the state's slot-query counters into the registry:
 // state.slot_query_total counts every EarliestTransferSlot call and
 // state.slot_fastpath_total the calls served without materializing an
