@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json bench-smoke trace-check cover cover-check fuzz study examples clean
+.PHONY: all build vet test test-short race bench bench-json bench-smoke serve-smoke trace-check cover cover-check fuzz study examples clean
 
 all: build vet test
 
@@ -39,6 +39,12 @@ bench-json:
 bench-smoke:
 	$(GO) test -run='^$$' -bench='EarliestFit|CapacityMinAvailable' -benchtime=1x \
 		./internal/simtime/ ./internal/resource/
+
+# Boot the admission daemon on a loopback port, drive 200 submissions
+# through the closed-loop load generator, and require at least one admit
+# plus a clean SIGTERM drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Export a Perfetto trace from a paper-scale run and validate its
 # structure: well-formed JSON, non-empty, monotone timestamps per track,

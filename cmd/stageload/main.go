@@ -1,0 +1,80 @@
+// Command stageload drives a deterministic closed-loop load against a
+// running stagesvc and prints an admission-rate / latency summary. The
+// submission stream is fully determined by -seed and the target service's
+// machine count, so a run can be replayed exactly.
+//
+// Usage:
+//
+//	stageload -url http://127.0.0.1:8080 [-n 200] [-seed 1] [-workers 8]
+//	          [-size-min BYTES] [-size-max BYTES]
+//	          [-slack-min DUR] [-slack-max DUR] [-max-priority 2]
+//	          [-backoff DUR] [-timeout DUR] [-min-admitted N]
+//
+// Each worker keeps one submission in flight (POST /v1/requests?wait=1),
+// backing off and retrying on 429. -min-admitted makes the run a check:
+// the exit status is non-zero unless at least that many submissions were
+// admitted — the smoke test's assertion.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"datastaging/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "stageload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stageload", flag.ContinueOnError)
+	url := fs.String("url", "", "stagesvc base URL (required), e.g. http://127.0.0.1:8080")
+	n := fs.Int("n", 200, "total submissions to drive")
+	seed := fs.Int64("seed", 1, "submission-stream seed")
+	workers := fs.Int("workers", 8, "closed-loop concurrency (one in-flight submission each)")
+	sizeMin := fs.Int64("size-min", 64<<10, "minimum item size in bytes")
+	sizeMax := fs.Int64("size-max", 16<<20, "maximum item size in bytes (log-uniform draw)")
+	slackMin := fs.Duration("slack-min", time.Hour, "minimum deadline slack past the service's now")
+	slackMax := fs.Duration("slack-max", 8*time.Hour, "maximum deadline slack")
+	maxPriority := fs.Int("max-priority", 2, "priorities drawn uniformly from [0, this]")
+	backoff := fs.Duration("backoff", 50*time.Millisecond, "retry delay after a 429")
+	timeout := fs.Duration("timeout", 2*time.Minute, "overall run budget")
+	minAdmitted := fs.Int("min-admitted", 0, "fail unless at least this many submissions were admitted")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return fmt.Errorf("-url is required")
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+	p := serve.DefaultLoadParams(*seed, *n)
+	p.Workers = *workers
+	p.SizeMin, p.SizeMax = *sizeMin, *sizeMax
+	p.SlackMin, p.SlackMax = *slackMin, *slackMax
+	p.MaxPriority = *maxPriority
+	p.Backoff = *backoff
+
+	rep, err := serve.RunLoad(ctx, &serve.Client{BaseURL: *url}, p)
+	if err != nil {
+		return err
+	}
+	rep.Write(out)
+	if rep.Admitted < *minAdmitted {
+		return fmt.Errorf("admitted %d submissions, need at least %d", rep.Admitted, *minAdmitted)
+	}
+	return nil
+}

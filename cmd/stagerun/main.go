@@ -20,14 +20,13 @@ import (
 	"io"
 	"os"
 	"strconv"
-	"strings"
 	"time"
 
 	"datastaging/internal/bounds"
+	"datastaging/internal/cliconf"
 	"datastaging/internal/core"
 	"datastaging/internal/eval"
 	"datastaging/internal/explain"
-	"datastaging/internal/gen"
 	"datastaging/internal/model"
 	"datastaging/internal/obs"
 	"datastaging/internal/obs/chrometrace"
@@ -383,73 +382,13 @@ func run(args []string, out io.Writer) error {
 var testHookBeforeExit func()
 
 func loadScenario(path string, seed int64) (*scenario.Scenario, error) {
-	if path == "" {
-		return gen.Generate(gen.Default(), seed)
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return scenario.Decode(f)
+	return cliconf.LoadScenario(path, seed)
 }
 
 func buildConfig(h, c, eu string, w model.Weights) (core.Config, error) {
-	cfg := core.Config{Weights: w}
-	switch h {
-	case "partial":
-		cfg.Heuristic = core.PartialPath
-	case "full_one":
-		cfg.Heuristic = core.FullPathOneDest
-	case "full_all":
-		cfg.Heuristic = core.FullPathAllDests
-	default:
-		return cfg, fmt.Errorf("unknown -heuristic %q", h)
-	}
-	switch strings.ToUpper(c) {
-	case "C1":
-		cfg.Criterion = core.C1
-	case "C2":
-		cfg.Criterion = core.C2
-	case "C3":
-		cfg.Criterion = core.C3
-	case "C4":
-		cfg.Criterion = core.C4
-	case "C5":
-		cfg.Criterion = core.C5
-	default:
-		return cfg, fmt.Errorf("unknown -criterion %q", c)
-	}
-	switch eu {
-	case "inf":
-		cfg.EU = core.EUPriorityOnly
-	case "-inf":
-		cfg.EU = core.EUUrgencyOnly
-	default:
-		l, err := strconv.ParseFloat(eu, 64)
-		if err != nil {
-			return cfg, fmt.Errorf("bad -eu %q: %w", eu, err)
-		}
-		cfg.EU = core.EUFromLog10(l)
-	}
-	return cfg, cfg.Validate()
+	return cliconf.BuildConfig(h, c, eu, w)
 }
 
 func parseWeights(s string) (model.Weights, error) {
-	switch s {
-	case "1,10,100":
-		return model.Weights1x10x100, nil
-	case "1,5,10":
-		return model.Weights1x5x10, nil
-	}
-	parts := strings.Split(s, ",")
-	w := make(model.Weights, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad -weights %q: %w", s, err)
-		}
-		w = append(w, v)
-	}
-	return w, nil
+	return cliconf.ParseWeights(s)
 }

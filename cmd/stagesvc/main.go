@@ -1,0 +1,178 @@
+// Command stagesvc runs the online admission service: an HTTP/JSON daemon
+// that accepts streaming data-staging requests, micro-batches them into
+// admission epochs, and answers each with an admit/reject verdict backed by
+// the paper's scheduling heuristics against a live committed schedule.
+//
+// The scenario file (or generator seed) contributes the network topology,
+// horizon, and garbage-collection policy; by default its item load is
+// dropped so the service starts with an empty request book and all load
+// arrives through the API (keep it with -with-items).
+//
+// Usage:
+//
+//	stagesvc [-addr :8080] [-in FILE | -seed N] [-with-items]
+//	         [-heuristic partial|full_one|full_all] [-criterion C1..C5]
+//	         [-eu LOG10|inf|-inf] [-weights 1,10,100] [-parallel N]
+//	         [-max-batch N] [-max-wait DUR] [-queue-cap N]
+//	         [-virtual-clock] [-time-scale X] [-preempt]
+//	         [-drain-timeout DUR]
+//
+// API (all JSON):
+//
+//	POST /v1/requests       submit a staging request (?wait=1 blocks for
+//	                        the verdict); 429 + Retry-After when the
+//	                        intake queue is full, 503 while draining
+//	GET  /v1/requests/{id}  current verdict for one submission
+//	GET  /v1/schedule       committed schedule and weighted objective
+//	POST /v1/advance        move the virtual clock ({"to": "90m"})
+//	GET  /v1/info           service description
+//	GET  /metrics           Prometheus text exposition (serve.* and core
+//	                        scheduler metrics)
+//	GET  /runinfo           live epoch phase; /events, /debug/pprof/ too
+//
+// SIGTERM or SIGINT drains gracefully: intake closes (503), the in-flight
+// epoch completes, the final schedule is reported, and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"datastaging/internal/cliconf"
+	"datastaging/internal/obs"
+	"datastaging/internal/obs/introspect"
+	"datastaging/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "stagesvc:", err)
+		os.Exit(1)
+	}
+}
+
+// testHookReady, when set by tests, receives the bound listen address once
+// the service accepts connections.
+var testHookReady func(addr string)
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stagesvc", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "HTTP listen address")
+	inPath := fs.String("in", "", "scenario JSON file (default: generate from -seed)")
+	seed := fs.Int64("seed", 1, "generator seed when -in is not given")
+	withItems := fs.Bool("with-items", false,
+		"keep the scenario's items (planned in the first epoch) instead of starting empty")
+	heuristicName := fs.String("heuristic", "full_one", "partial, full_one, or full_all")
+	criterionName := fs.String("criterion", "C4", "C1..C4, or the C5 extension")
+	euName := fs.String("eu", "2", "log10(W_E/W_U), or inf / -inf")
+	weightsName := fs.String("weights", "1,10,100", `"1,10,100" or "1,5,10"`)
+	parallel := fs.Int("parallel", 0, "worker goroutines for forest replanning (0 = GOMAXPROCS)")
+	maxBatch := fs.Int("max-batch", 16, "flush an admission epoch at this many pending submissions")
+	maxWait := fs.Duration("max-wait", 25*time.Millisecond,
+		"flush when the oldest pending submission has waited this long (wall clock)")
+	queueCap := fs.Int("queue-cap", 256, "intake queue bound; beyond it submissions get 429")
+	virtual := fs.Bool("virtual-clock", false,
+		"freeze time; it only moves via POST /v1/advance (deterministic replay mode)")
+	timeScale := fs.Float64("time-scale", 1, "simulated seconds per wall second (wall clock)")
+	preempt := fs.Bool("preempt", false,
+		"let higher-priority arrivals displace not-yet-started lower-priority transfers")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc, err := cliconf.LoadScenario(*inPath, *seed)
+	if err != nil {
+		return err
+	}
+	if !*withItems {
+		sc.Items = nil
+	}
+	w, err := cliconf.ParseWeights(*weightsName)
+	if err != nil {
+		return err
+	}
+	cfg, err := cliconf.BuildConfig(*heuristicName, *criterionName, *euName, w)
+	if err != nil {
+		return err
+	}
+	cfg.Parallelism = *parallel
+	o := obs.New()
+	cfg.Obs = o
+
+	intro := introspect.NewServer(o)
+	intro.SetRunInfo(introspect.RunInfo{
+		Scenario:  sc.Name,
+		Machines:  sc.Network.NumMachines(),
+		Links:     len(sc.Network.Links),
+		Items:     len(sc.Items),
+		Scheduler: fmt.Sprintf("%v/%v at E-U %s", cfg.Heuristic, cfg.Criterion, cfg.EU.Label()),
+		Config: map[string]string{
+			"max-batch": fmt.Sprint(*maxBatch), "max-wait": maxWait.String(),
+			"queue-cap": fmt.Sprint(*queueCap), "virtual-clock": fmt.Sprint(*virtual),
+			"preempt": fmt.Sprint(*preempt), "weights": *weightsName,
+		},
+	})
+
+	eng, err := serve.New(sc, serve.Options{
+		Config:       cfg,
+		MaxBatch:     *maxBatch,
+		MaxWait:      *maxWait,
+		QueueCap:     *queueCap,
+		VirtualClock: *virtual,
+		TimeScale:    *timeScale,
+		Preemption:   *preempt,
+		Intro:        intro,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "stagesvc: listening on http://%s/ (%s: %d machines, %d links, %d items)\n",
+		ln.Addr(), sc.Name, sc.Network.NumMachines(), len(sc.Network.Links), len(sc.Items))
+	if testHookReady != nil {
+		testHookReady(ln.Addr().String())
+	}
+
+	srv := &http.Server{Handler: eng.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: close intake and finish the in-flight epoch first, so
+	// blocked ?wait=1 requests resolve; then shut the HTTP server down.
+	fmt.Fprintln(out, "stagesvc: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := eng.Drain(dctx)
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	sv := eng.Schedule()
+	fmt.Fprintf(out, "stagesvc: final schedule: %d epochs, %d/%d requests satisfied, "+
+		"%d transfers, weighted value %.1f\n",
+		sv.Epochs, sv.Satisfied, sv.TotalRequests, len(sv.Transfers), sv.WeightedValue)
+	return nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"datastaging/internal/serve"
+)
+
+// TestEndToEndLoopback boots the daemon on a loopback port, drives a
+// deterministic closed-loop load through the real HTTP stack, checks the
+// Prometheus surface, then triggers the graceful drain and verifies a
+// clean exit with a final-schedule report.
+func TestEndToEndLoopback(t *testing.T) {
+	ready := make(chan string, 1)
+	testHookReady = func(addr string) { ready <- addr }
+	defer func() { testHookReady = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-seed", "3",
+			"-max-wait", "2ms",
+			"-queue-cap", "64",
+			"-time-scale", "3600", // an hour of simulated time per wall second
+		}, &out)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errCh:
+		t.Fatalf("daemon exited before ready: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	c := &serve.Client{BaseURL: "http://" + addr}
+	p := serve.DefaultLoadParams(1, 64)
+	p.Workers = 4
+	p.SlackMin, p.SlackMax = 4*time.Hour, 12*time.Hour
+	rep, err := serve.RunLoad(ctx, c, p)
+	if err != nil {
+		t.Fatalf("load run: %v", err)
+	}
+	if rep.Admitted == 0 {
+		t.Errorf("load run admitted nothing: %+v", rep)
+	}
+	if got := rep.Admitted + rep.Rejected + rep.Preempted + rep.Errors; got != p.Requests {
+		t.Errorf("verdicts for %d of %d submissions", got, p.Requests)
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, metric := range []string{"serve_admitted_total", "serve_epochs_total", "serve_batch_size"} {
+		if !strings.Contains(string(body), metric) {
+			t.Errorf("/metrics missing %s", metric)
+		}
+	}
+
+	// The signal path: cancelling the context is what SIGTERM does in main.
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain and exit")
+	}
+	if !strings.Contains(out.String(), "final schedule") {
+		t.Errorf("no final-schedule report:\n%s", out.String())
+	}
+}
+
+// TestBadFlags: configuration errors surface before the listener opens.
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-heuristic", "bogus"},
+		{"-criterion", "C9"},
+		{"-weights", "a,b"},
+		{"-in", "/does/not/exist.json"},
+	} {
+		var out bytes.Buffer
+		if err := run(context.Background(), args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

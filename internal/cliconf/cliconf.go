@@ -1,0 +1,97 @@
+// Package cliconf holds the flag-value parsing shared by the command-line
+// tools: scheduler configuration (-heuristic/-criterion/-eu), priority
+// weights (-weights), and scenario loading (-in/-seed). The flag spellings
+// are part of the CLI contract, so they live in one place instead of one
+// copy per command.
+package cliconf
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"datastaging/internal/core"
+	"datastaging/internal/gen"
+	"datastaging/internal/model"
+	"datastaging/internal/scenario"
+)
+
+// LoadScenario reads a scenario JSON file, or generates the paper's default
+// parameterization from seed when path is empty.
+func LoadScenario(path string, seed int64) (*scenario.Scenario, error) {
+	if path == "" {
+		return gen.Generate(gen.Default(), seed)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return scenario.Decode(f)
+}
+
+// BuildConfig assembles a validated core.Config from the CLI spellings:
+// h one of partial/full_one/full_all, c one of C1..C5 (case-insensitive),
+// eu a log10 ratio or inf/-inf.
+func BuildConfig(h, c, eu string, w model.Weights) (core.Config, error) {
+	cfg := core.Config{Weights: w}
+	switch h {
+	case "partial":
+		cfg.Heuristic = core.PartialPath
+	case "full_one":
+		cfg.Heuristic = core.FullPathOneDest
+	case "full_all":
+		cfg.Heuristic = core.FullPathAllDests
+	default:
+		return cfg, fmt.Errorf("unknown -heuristic %q", h)
+	}
+	switch strings.ToUpper(c) {
+	case "C1":
+		cfg.Criterion = core.C1
+	case "C2":
+		cfg.Criterion = core.C2
+	case "C3":
+		cfg.Criterion = core.C3
+	case "C4":
+		cfg.Criterion = core.C4
+	case "C5":
+		cfg.Criterion = core.C5
+	default:
+		return cfg, fmt.Errorf("unknown -criterion %q", c)
+	}
+	switch eu {
+	case "inf":
+		cfg.EU = core.EUPriorityOnly
+	case "-inf":
+		cfg.EU = core.EUUrgencyOnly
+	default:
+		l, err := strconv.ParseFloat(eu, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("bad -eu %q: %w", eu, err)
+		}
+		cfg.EU = core.EUFromLog10(l)
+	}
+	return cfg, cfg.Validate()
+}
+
+// ParseWeights parses a -weights flag: the paper's named ladders, or any
+// comma-separated per-priority weight list.
+func ParseWeights(s string) (model.Weights, error) {
+	switch s {
+	case "1,10,100":
+		return model.Weights1x10x100, nil
+	case "1,5,10":
+		return model.Weights1x5x10, nil
+	}
+	parts := strings.Split(s, ",")
+	w := make(model.Weights, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -weights %q: %w", s, err)
+		}
+		w = append(w, v)
+	}
+	return w, nil
+}

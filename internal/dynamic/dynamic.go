@@ -83,9 +83,12 @@ type Outcome struct {
 // Simulate runs the event-driven re-planning loop. Events may be given in
 // any order; simultaneous events are applied together (releases before
 // failures at the same instant would be arbitrary, so all events of one
-// epoch apply before the epoch's re-plan).
+// epoch apply before the epoch's re-plan). It is a thin driver over Engine:
+// the admission service (internal/serve) walks the very same epoch code
+// path online.
 func Simulate(sc *scenario.Scenario, cfg core.Config, events []Event) (*Outcome, error) {
-	if err := cfg.Validate(); err != nil {
+	eng, err := NewEngine(sc, cfg)
+	if err != nil {
 		return nil, err
 	}
 	for i, ev := range events {
@@ -97,47 +100,40 @@ func Simulate(sc *scenario.Scenario, cfg core.Config, events []Event) (*Outcome,
 	copy(evs, events)
 	sort.SliceStable(evs, func(a, b int) bool { return evs[a].At < evs[b].At })
 
-	withheld := make(map[model.ItemID]bool)
 	for _, ev := range evs {
 		if ev.Kind == ItemRelease && ev.At > 0 {
-			withheld[ev.Item] = true
+			eng.Withhold(ev.Item)
 		}
 	}
-	outages := make(map[model.LinkID]simtime.Instant)
 
-	out := &Outcome{}
 	begin := time.Now()
 	// Epoch 0: schedule everything known at time zero.
-	st := rebuild(sc, nil, withheld, outages, 0, out)
-	if err := replan(st, cfg, out); err != nil {
+	if _, err := eng.ReplanAt(0); err != nil {
 		return nil, err
 	}
-	observeEpoch(cfg.Obs, 0, len(out.Aborted))
 
 	for i := 0; i < len(evs); {
 		at := evs[i].At
 		for ; i < len(evs) && evs[i].At == at; i++ {
 			switch evs[i].Kind {
 			case ItemRelease:
-				delete(withheld, evs[i].Item)
+				eng.Release(evs[i].Item)
 			case LinkFail:
-				if prev, ok := outages[evs[i].Link]; !ok || at < prev {
-					outages[evs[i].Link] = at
-				}
+				eng.FailLink(evs[i].Link, at)
 			}
 		}
-		abortedBefore := len(out.Aborted)
-		st = rebuild(sc, st.Transfers(), withheld, outages, at, out)
-		if err := replan(st, cfg, out); err != nil {
+		if _, err := eng.ReplanAt(at); err != nil {
 			return nil, err
 		}
-		observeEpoch(cfg.Obs, at, len(out.Aborted)-abortedBefore)
 	}
 
-	out.Transfers = st.Transfers()
-	out.Satisfied = st.Satisfied()
-	out.Elapsed = time.Since(begin)
-	return out, nil
+	return &Outcome{
+		Transfers: eng.Transfers(),
+		Satisfied: eng.Satisfied(),
+		Aborted:   eng.Aborted(),
+		Replans:   eng.Replans(),
+		Elapsed:   time.Since(begin),
+	}, nil
 }
 
 func checkEvent(sc *scenario.Scenario, ev Event) error {
@@ -159,32 +155,6 @@ func checkEvent(sc *scenario.Scenario, ev Event) error {
 	return nil
 }
 
-// rebuild reconstructs the world at an epoch: a fresh state with the
-// current outages and withheld items, the surviving history replayed, and
-// the planning floor advanced to the epoch. A historical transfer that no
-// longer commits — its link is down mid-flight, or the copy it ships never
-// arrived — is aborted, and the replay's causal ordering makes the loss
-// cascade to everything downstream.
-func rebuild(sc *scenario.Scenario, history []state.Transfer,
-	withheld map[model.ItemID]bool, outages map[model.LinkID]simtime.Instant,
-	floor simtime.Instant, out *Outcome) *state.State {
-
-	st := state.New(sc)
-	for item := range withheld {
-		st.WithholdItem(item)
-	}
-	for link, at := range outages {
-		st.FailLink(link, at)
-	}
-	for _, tr := range history {
-		if _, err := st.Commit(tr.Item, tr.Link, tr.Start); err != nil {
-			out.Aborted = append(out.Aborted, tr)
-		}
-	}
-	st.SetFloor(floor)
-	return st
-}
-
 // observeEpoch records one completed epoch replan: a counter per replan,
 // a counter for transfers newly aborted at this epoch, a gauge holding the
 // current epoch instant (so a live /metrics scrape shows how far the
@@ -202,12 +172,3 @@ func observeEpoch(o *obs.Obs, at simtime.Instant, aborted int) {
 	}
 }
 
-func replan(st *state.State, cfg core.Config, out *Outcome) error {
-	res, err := core.ScheduleState(st, cfg)
-	if err != nil {
-		return fmt.Errorf("dynamic: replan %d: %w", out.Replans, err)
-	}
-	out.Replans++
-	out.Elapsed += res.Elapsed
-	return nil
-}

@@ -1,0 +1,190 @@
+package dynamic
+
+import (
+	"fmt"
+	"time"
+
+	"datastaging/internal/core"
+	"datastaging/internal/model"
+	"datastaging/internal/scenario"
+	"datastaging/internal/simtime"
+	"datastaging/internal/state"
+)
+
+// Engine is the epoch re-planning seam shared by the offline simulator
+// (Simulate) and the online admission service (internal/serve). It owns the
+// event-world bookkeeping — which items are withheld, which links are down,
+// the surviving transfer history — and turns it into one scheduling epoch at
+// a time: ReplanAt rebuilds a fresh state at the epoch instant, replays the
+// surviving history (losses cascade), and runs the configured heuristic
+// with the planning floor advanced so the past cannot be rewritten.
+//
+// The Engine is not safe for concurrent use; callers that take submissions
+// from many goroutines (internal/serve) serialize access themselves.
+type Engine struct {
+	cfg core.Config
+	sc  *scenario.Scenario
+	st  *state.State
+
+	withheld map[model.ItemID]bool
+	outages  map[model.LinkID]simtime.Instant
+
+	// history is the committed schedule surviving the last epoch; ReplanAt
+	// replays it into the rebuilt state before planning.
+	history []state.Transfer
+	aborted []state.Transfer
+	replans int
+	elapsed time.Duration
+}
+
+// NewEngine returns an engine planning for sc under cfg. No epoch has run
+// yet: Transfers is empty until the first ReplanAt.
+func NewEngine(sc *scenario.Scenario, cfg core.Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:      cfg,
+		sc:       sc,
+		withheld: make(map[model.ItemID]bool),
+		outages:  make(map[model.LinkID]simtime.Instant),
+	}, nil
+}
+
+// Scenario returns the instance the engine currently plans for.
+func (e *Engine) Scenario() *scenario.Scenario { return e.sc }
+
+// SetScenario replaces the planning instance. The item list of the new
+// scenario must be an append-only extension of the old one (same network,
+// existing item IDs unchanged), so that the committed history keeps
+// referring to the right items; internal/serve uses this to admit data
+// items that did not exist when the engine was created.
+func (e *Engine) SetScenario(sc *scenario.Scenario) { e.sc = sc }
+
+// Withhold hides items from the scheduler until Release: dynamic requests
+// that have not arrived yet.
+func (e *Engine) Withhold(items ...model.ItemID) {
+	for _, it := range items {
+		e.withheld[it] = true
+	}
+}
+
+// Release makes withheld items schedulable from the next epoch on.
+func (e *Engine) Release(items ...model.ItemID) {
+	for _, it := range items {
+		delete(e.withheld, it)
+	}
+}
+
+// FailLink takes a virtual link down permanently from instant t. Idempotent;
+// an earlier failure time wins.
+func (e *Engine) FailLink(link model.LinkID, t simtime.Instant) {
+	if prev, ok := e.outages[link]; !ok || t < prev {
+		e.outages[link] = t
+	}
+}
+
+// ReplanAt runs one scheduling epoch at instant at: rebuild the world
+// (current outages, withheld items, surviving history replayed — transfers
+// that no longer commit are aborted and the loss cascades), advance the
+// planning floor to at, and run the heuristic over everything still open.
+func (e *Engine) ReplanAt(at simtime.Instant) (*core.Result, error) {
+	abortedBefore := len(e.aborted)
+	st := state.New(e.sc)
+	for item := range e.withheld {
+		st.WithholdItem(item)
+	}
+	for link, t := range e.outages {
+		st.FailLink(link, t)
+	}
+	for _, tr := range e.history {
+		if _, err := st.Commit(tr.Item, tr.Link, tr.Start); err != nil {
+			e.aborted = append(e.aborted, tr)
+		}
+	}
+	st.SetFloor(at)
+
+	res, err := core.ScheduleState(st, e.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("dynamic: replan %d: %w", e.replans, err)
+	}
+	e.st = st
+	e.history = st.Transfers()
+	e.replans++
+	e.elapsed += res.Elapsed
+	observeEpoch(e.cfg.Obs, at, len(e.aborted)-abortedBefore)
+	return res, nil
+}
+
+// State returns the resource state of the last epoch (nil before the first
+// ReplanAt).
+func (e *Engine) State() *state.State { return e.st }
+
+// Transfers returns the surviving committed schedule in commit order. The
+// slice is shared; do not mutate.
+func (e *Engine) Transfers() []state.Transfer { return e.history }
+
+// Satisfied returns the satisfied requests of the last epoch (nil before
+// the first ReplanAt). The map is shared; do not mutate.
+func (e *Engine) Satisfied() map[model.RequestID]simtime.Instant {
+	if e.st == nil {
+		return nil
+	}
+	return e.st.Satisfied()
+}
+
+// Aborted lists transfers lost so far (in flight on a failed link, causally
+// downstream of a lost copy, or dropped via DropHistory and never
+// re-committed). The slice is shared; do not mutate.
+func (e *Engine) Aborted() []state.Transfer { return e.aborted }
+
+// Replans counts completed epochs.
+func (e *Engine) Replans() int { return e.replans }
+
+// Elapsed is the total scheduling time across epochs.
+func (e *Engine) Elapsed() time.Duration { return e.elapsed }
+
+// DropHistory removes every committed transfer matching drop from the
+// history and returns how many were removed. The state is not touched; the
+// caller must run ReplanAt afterwards to rebuild the world without the
+// dropped transfers (anything causally downstream of a dropped copy will
+// cascade-abort during the replay). internal/serve uses this to preempt
+// not-yet-started transfers of lower-priority items.
+func (e *Engine) DropHistory(drop func(state.Transfer) bool) int {
+	kept := e.history[:0:0]
+	dropped := 0
+	for _, tr := range e.history {
+		if drop(tr) {
+			dropped++
+			continue
+		}
+		kept = append(kept, tr)
+	}
+	if dropped > 0 {
+		e.history = kept
+	}
+	return dropped
+}
+
+// Checkpoint captures the engine's epoch bookkeeping so a speculative
+// DropHistory + ReplanAt can be undone with Rollback.
+type Checkpoint struct {
+	history []state.Transfer
+	aborted int
+}
+
+// Checkpoint snapshots the current history.
+func (e *Engine) Checkpoint() Checkpoint {
+	h := make([]state.Transfer, len(e.history))
+	copy(h, e.history)
+	return Checkpoint{history: h, aborted: len(e.aborted)}
+}
+
+// Rollback restores a checkpoint's history and discards aborts recorded
+// since. It does not rebuild the state: the caller must ReplanAt the same
+// epoch instant, which deterministically reproduces the pre-speculation
+// schedule (the replay and the heuristics are deterministic).
+func (e *Engine) Rollback(cp Checkpoint) {
+	e.history = cp.history
+	e.aborted = e.aborted[:cp.aborted]
+}

@@ -86,6 +86,15 @@ func (s *Server) SetPhase(phase string) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.index)
+	s.Register(mux)
+	return mux
+}
+
+// Register mounts the introspection endpoints (everything Handler serves
+// except the index) onto an existing mux, so daemons with their own API
+// surface — stagesvc — expose /metrics, /events, /runinfo, and /debug/pprof
+// alongside it on one listener.
+func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/metrics", s.metrics)
 	mux.HandleFunc("/events", s.events)
 	mux.HandleFunc("/runinfo", s.runinfo)
@@ -94,7 +103,6 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }
 
 // Start listens on addr and serves the introspection endpoints in the

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"datastaging/internal/simtime"
+	"datastaging/internal/testnet"
+)
+
+func benchNet() func() *Engine {
+	b := testnet.NewBuilder()
+	ms := b.Machines(6, 1<<30)
+	for i := 0; i < 5; i++ {
+		b.Link(ms[i], ms[i+1], 0, 24*time.Hour, 8<<20)
+		b.Link(ms[i+1], ms[i], 0, 24*time.Hour, 8<<20)
+	}
+	sc := b.Build("bench")
+	return func() *Engine {
+		eng, err := New(sc, Options{
+			Config:       cfgC4(nil),
+			VirtualClock: true,
+			MaxBatch:     1 << 20, // flush only on demand
+			QueueCap:     1 << 20,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return eng
+	}
+}
+
+func benchSub(i int) Submission {
+	return Submission{
+		Name:      fmt.Sprintf("b-%d", i),
+		SizeBytes: 256 << 10,
+		Sources:   []SourceSpec{{Machine: i % 5}},
+		Requests: []RequestSpec{{
+			Machine:  5,
+			Deadline: Instant(simtime.At(20 * time.Hour)),
+			Priority: i % 3,
+		}},
+	}
+}
+
+// BenchmarkServeAdmission measures one admission epoch of 32 submissions:
+// intake (serial or from 8 goroutines) plus the epoch replan that decides
+// them. The engine is rebuilt per iteration so the committed history —
+// which grows with every admit — does not skew later iterations.
+func BenchmarkServeAdmission(b *testing.B) {
+	const batch = 32
+	mk := benchNet()
+
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			eng := mk()
+			b.StartTimer()
+			for j := 0; j < batch; j++ {
+				if _, err := eng.Submit(benchSub(j)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := eng.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("concurrent8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			eng := mk()
+			b.StartTimer()
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for j := 0; j < batch/8; j++ {
+						if _, err := eng.Submit(benchSub(g*batch/8 + j)); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if err := eng.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

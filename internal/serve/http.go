@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxBodyBytes bounds a request body; submissions are small documents.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the service's HTTP API on a fresh mux:
+//
+//	POST /v1/requests       submit (body: Submission JSON; ?wait=1 blocks
+//	                        until the admission epoch decides)
+//	GET  /v1/requests/{id}  one ticket's current verdict
+//	GET  /v1/schedule       committed schedule + weighted objective
+//	POST /v1/advance        move the virtual clock (body: {"to": Instant})
+//	GET  /v1/info           service description for clients
+//	GET  /healthz           liveness
+//
+// When the engine was built with an introspection server, its endpoints
+// (/metrics, /events, /runinfo, /debug/pprof/) are mounted on the same mux.
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/requests", e.handleSubmit)
+	mux.HandleFunc("GET /v1/requests/{id}", e.handleTicket)
+	mux.HandleFunc("GET /v1/schedule", e.handleSchedule)
+	mux.HandleFunc("POST /v1/advance", e.handleAdvance)
+	mux.HandleFunc("GET /v1/info", e.handleInfo)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	if e.intro != nil {
+		e.intro.Register(mux)
+	}
+	return mux
+}
+
+// errorBody is every non-2xx JSON response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sub Submission
+	if !decodeBody(w, r, &sub) {
+		return
+	}
+	t, err := e.Submit(sub)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-t.Done():
+		case <-r.Context().Done():
+			httpError(w, http.StatusRequestTimeout, r.Context().Err())
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/requests/"+t.ID())
+	w.WriteHeader(http.StatusAccepted)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(t.View())
+}
+
+func (e *Engine) handleTicket(w http.ResponseWriter, r *http.Request) {
+	v, ok := e.TicketView(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such request %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, v)
+}
+
+func (e *Engine) handleSchedule(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, e.Schedule())
+}
+
+// advanceBody is the POST /v1/advance document.
+type advanceBody struct {
+	To Instant `json:"to"`
+}
+
+func (e *Engine) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	var body advanceBody
+	if !decodeBody(w, r, &body) {
+		return
+	}
+	if err := e.Advance(body.To.Instant()); err != nil {
+		code := http.StatusBadRequest
+		if e.Err() != nil {
+			code = http.StatusInternalServerError
+		}
+		httpError(w, code, err)
+		return
+	}
+	writeJSON(w, e.Schedule())
+}
+
+func (e *Engine) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, e.Info())
+}

@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadParams shapes the synthetic submission stream of the load generator.
+// The zero value is useless; start from DefaultLoadParams.
+type LoadParams struct {
+	// Seed makes the generated submission stream deterministic: the same
+	// seed against the same service Info yields the same submissions.
+	Seed int64
+	// Requests is the total number of submissions to drive.
+	Requests int
+	// Workers is the closed-loop concurrency: each worker keeps exactly one
+	// submission in flight.
+	Workers int
+	// SizeBytes is the item-size range, drawn log-uniformly.
+	SizeMin, SizeMax int64
+	// Slack is the deadline slack range: a deadline lands uniformly in
+	// [now+SlackMin, now+SlackMax], clamped under the horizon.
+	SlackMin, SlackMax time.Duration
+	// MaxPriority draws priorities uniformly from [0, MaxPriority].
+	MaxPriority int
+	// Backoff sleeps this long after a 429 before retrying (the retry
+	// re-submits the same submission; it still counts once).
+	Backoff time.Duration
+}
+
+// DefaultLoadParams returns the stageload defaults: small items with an
+// hour-scale slack against the paper's day-long horizon.
+func DefaultLoadParams(seed int64, n int) LoadParams {
+	return LoadParams{
+		Seed:        seed,
+		Requests:    n,
+		Workers:     8,
+		SizeMin:     64 << 10,
+		SizeMax:     16 << 20,
+		SlackMin:    time.Hour,
+		SlackMax:    8 * time.Hour,
+		MaxPriority: 2,
+		Backoff:     50 * time.Millisecond,
+	}
+}
+
+// LoadReport is the outcome of one load run.
+type LoadReport struct {
+	Requests   int
+	Admitted   int
+	Rejected   int
+	Preempted  int
+	Errors     int
+	Overloaded int // 429 responses (retried; counts shed attempts)
+	Elapsed    time.Duration
+	// Latencies of every decided submission (submit → verdict), sorted.
+	Latencies []time.Duration
+}
+
+// Percentile returns the p-th (0–100) latency percentile.
+func (r *LoadReport) Percentile(p float64) time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(r.Latencies)-1))
+	return r.Latencies[idx]
+}
+
+// Write prints the human-readable summary stageload ends with.
+func (r *LoadReport) Write(w io.Writer) {
+	fmt.Fprintf(w, "requests   %d\n", r.Requests)
+	fmt.Fprintf(w, "admitted   %d (%.1f%%)\n", r.Admitted, pct(r.Admitted, r.Requests))
+	fmt.Fprintf(w, "rejected   %d (%.1f%%)\n", r.Rejected, pct(r.Rejected, r.Requests))
+	if r.Preempted > 0 {
+		fmt.Fprintf(w, "preempted  %d\n", r.Preempted)
+	}
+	if r.Errors > 0 {
+		fmt.Fprintf(w, "errors     %d\n", r.Errors)
+	}
+	fmt.Fprintf(w, "overloaded %d (429s, retried)\n", r.Overloaded)
+	fmt.Fprintf(w, "elapsed    %v\n", r.Elapsed.Round(time.Millisecond))
+	if len(r.Latencies) > 0 {
+		fmt.Fprintf(w, "latency    p50 %v  p90 %v  p99 %v  max %v\n",
+			r.Percentile(50).Round(time.Microsecond),
+			r.Percentile(90).Round(time.Microsecond),
+			r.Percentile(99).Round(time.Microsecond),
+			r.Latencies[len(r.Latencies)-1].Round(time.Microsecond))
+	}
+	rate := float64(r.Requests) / r.Elapsed.Seconds()
+	fmt.Fprintf(w, "throughput %.1f submissions/s\n", rate)
+}
+
+func pct(n, of int) float64 {
+	if of == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(of)
+}
+
+// GenSubmission synthesizes the i-th submission of a seeded stream against
+// a service description. Exposed so tests can replay the exact stream a
+// load run produced.
+func GenSubmission(p LoadParams, info Info, i int) Submission {
+	rng := rand.New(rand.NewSource(p.Seed + int64(i)))
+	src := rng.Intn(info.Machines)
+	dst := rng.Intn(info.Machines - 1)
+	if dst >= src {
+		dst++
+	}
+	size := p.SizeMin
+	if p.SizeMax > p.SizeMin {
+		// Log-uniform: small items common, large items rare — the shape a
+		// shared staging network actually sees.
+		lo, hi := float64(p.SizeMin), float64(p.SizeMax)
+		size = int64(lo * math.Pow(hi/lo, rng.Float64()))
+	}
+	slack := p.SlackMin
+	if p.SlackMax > p.SlackMin {
+		slack += time.Duration(rng.Int63n(int64(p.SlackMax - p.SlackMin)))
+	}
+	deadline := Instant(info.Now) + Instant(slack)
+	if info.Horizon > 0 && deadline > info.Horizon {
+		deadline = info.Horizon
+	}
+	return Submission{
+		Name:      fmt.Sprintf("load-%d", i),
+		SizeBytes: size,
+		Sources:   []SourceSpec{{Machine: src}},
+		Requests: []RequestSpec{{
+			Machine:  dst,
+			Deadline: deadline,
+			Priority: rng.Intn(p.MaxPriority + 1),
+		}},
+	}
+}
+
+// RunLoad drives a deterministic closed-loop load against a stagesvc
+// endpoint: Workers goroutines each submit with ?wait=1, retrying on 429
+// after Backoff, until Requests submissions have a verdict.
+func RunLoad(ctx context.Context, c *Client, p LoadParams) (*LoadReport, error) {
+	if p.Requests <= 0 {
+		return nil, fmt.Errorf("serve: load run needs a positive request count")
+	}
+	if p.Workers <= 0 {
+		p.Workers = 1
+	}
+	info, err := c.Info(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("serve: cannot describe service: %w", err)
+	}
+	if info.Machines < 2 {
+		return nil, fmt.Errorf("serve: scenario has %d machines; need at least 2", info.Machines)
+	}
+
+	var (
+		mu  sync.Mutex
+		rep = LoadReport{Requests: p.Requests}
+	)
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := 0; i < p.Requests; i++ {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	begin := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < p.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				sub := GenSubmission(p, info, i)
+				start := time.Now()
+				var view TicketView
+				for {
+					var err error
+					view, err = c.Submit(ctx, sub, true)
+					if st, ok := err.(*ErrStatus); ok && st.IsOverloaded() {
+						mu.Lock()
+						rep.Overloaded++
+						mu.Unlock()
+						select {
+						case <-time.After(p.Backoff):
+							continue
+						case <-ctx.Done():
+							return
+						}
+					}
+					if err != nil {
+						mu.Lock()
+						rep.Errors++
+						mu.Unlock()
+					}
+					break
+				}
+				mu.Lock()
+				switch view.Status {
+				case StatusAdmitted:
+					rep.Admitted++
+					rep.Latencies = append(rep.Latencies, time.Since(start))
+				case StatusRejected:
+					rep.Rejected++
+					rep.Latencies = append(rep.Latencies, time.Since(start))
+				case StatusPreempted:
+					rep.Preempted++
+					rep.Latencies = append(rep.Latencies, time.Since(start))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(begin)
+	sort.Slice(rep.Latencies, func(a, b int) bool { return rep.Latencies[a] < rep.Latencies[b] })
+	if err := ctx.Err(); err != nil {
+		return &rep, err
+	}
+	return &rep, nil
+}

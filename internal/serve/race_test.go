@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"datastaging/internal/model"
+	"datastaging/internal/obs"
+	"datastaging/internal/simtime"
+	"datastaging/internal/testnet"
+	"datastaging/internal/validator"
+)
+
+// TestSubmitHammer slams Submit from 16 goroutines in wall-clock mode —
+// the configuration the race detector cares about, since epochs flush
+// concurrently with intake — then drains and checks the books: every
+// ticket resolved, metrics consistent with verdicts, and the final
+// schedule clean under the independent validator with the scheduler's own
+// paranoid self-checks enabled throughout.
+func TestSubmitHammer(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 8
+	)
+	b := testnet.NewBuilder()
+	ms := b.Machines(4, 1<<30)
+	for i := 0; i < 3; i++ {
+		b.Link(ms[i], ms[i+1], 0, 24*time.Hour, 1<<20)
+		b.Link(ms[i+1], ms[i], 0, 24*time.Hour, 1<<20)
+	}
+	sc := b.Build("hammer")
+
+	o := obs.New()
+	cfg := cfgC4(o)
+	cfg.Paranoid = true
+	eng, err := New(sc, Options{
+		Config:    cfg,
+		MaxBatch:  12,
+		MaxWait:   time.Millisecond,
+		QueueCap:  64,
+		TimeScale: 1, // the whole run fits in the first simulated seconds
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		tickets []*Ticket
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := g % 3 // machines 0..2; destination 3 is never a source
+			for i := 0; i < perG; i++ {
+				sub := Submission{
+					Name:      fmt.Sprintf("g%d-%d", g, i),
+					SizeBytes: 64 << 10,
+					Sources:   []SourceSpec{{Machine: src}},
+					Requests: []RequestSpec{{
+						Machine:  3,
+						Deadline: Instant(simtime.At(20 * time.Hour)),
+						Priority: (g + i) % 3,
+					}},
+				}
+				for {
+					tk, err := eng.Submit(sub)
+					if err == ErrOverloaded {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					if err != nil {
+						t.Errorf("g%d submit %d: %v", g, i, err)
+						return
+					}
+					mu.Lock()
+					tickets = append(tickets, tk)
+					mu.Unlock()
+					break
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := eng.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	if len(tickets) != goroutines*perG {
+		t.Fatalf("placed %d submissions, want %d", len(tickets), goroutines*perG)
+	}
+	admitted := 0
+	for _, tk := range tickets {
+		select {
+		case <-tk.Done():
+		default:
+			t.Fatalf("ticket %s unresolved after drain", tk.ID())
+		}
+		v := tk.View()
+		switch v.Status {
+		case StatusAdmitted:
+			admitted++
+		case StatusQueued:
+			t.Errorf("ticket %s still queued", tk.ID())
+		}
+	}
+	if admitted == 0 {
+		t.Error("hammer admitted nothing on an uncongested network")
+	}
+	if n := o.Counter("serve.admitted_total").Value(); n != int64(admitted) {
+		t.Errorf("serve.admitted_total = %d, but %d tickets are admitted", n, admitted)
+	}
+	if epochs := eng.Schedule().Epochs; int64(epochs) != o.Counter("serve.epochs_total").Value() {
+		t.Errorf("epoch count mismatch: view %d vs counter %d",
+			epochs, o.Counter("serve.epochs_total").Value())
+	}
+
+	sv := eng.Schedule()
+	if err := validator.Validate(eng.Scenario(), sv.Transfers); err != nil {
+		t.Errorf("hammered schedule failed independent validation: %v", err)
+	}
+	// The weighted objective must equal the sum over admitted verdicts.
+	var want float64
+	for _, tk := range tickets {
+		for _, rv := range tk.View().Requests {
+			if rv.Status == StatusAdmitted {
+				want += model.Weights1x10x100.Of(model.Priority(
+					eng.Scenario().Items[tk.View().Item].Requests[rv.Request.Index].Priority))
+			}
+		}
+	}
+	if sv.WeightedValue != want {
+		t.Errorf("weighted value %v, verdicts sum to %v", sv.WeightedValue, want)
+	}
+}

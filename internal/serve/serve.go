@@ -1,0 +1,729 @@
+// Package serve is the online admission service: the bridge from "a client
+// submits a data request" to "the scheduler admits or rejects it" while the
+// system runs. It owns a live scheduling world (a dynamic.Engine), accepts
+// Submit calls from many goroutines, micro-batches them into admission
+// epochs — a batch flushes when it reaches MaxBatch submissions or when the
+// oldest has waited MaxWait, whichever comes first — and per epoch runs the
+// configured heuristic incrementally with the already-committed schedule
+// locked in, exactly the paper's §4.5 rule that scheduled transfers remain
+// in the system.
+//
+// Each submission receives a per-request verdict: admitted (with the
+// committed route and delivery instant), rejected (with an explain blame:
+// starved-by-contention and the most-obstructed link, or
+// infeasible-even-alone), or — when preemption is enabled — preempted,
+// meaning a lower-priority earlier admit was displaced by a higher-priority
+// arrival. Preemption is conservative: only transfers that have not started
+// by the epoch instant are candidates, only items whose every request sits
+// strictly below the new arrival's priority may be displaced, and the
+// displacement is kept only if it strictly increases the weighted
+// objective; otherwise the world is rolled back bit-identically.
+//
+// The intake queue is bounded: when it is full, Submit fails fast with
+// ErrOverloaded and the HTTP layer translates that into 429 + Retry-After,
+// so overload sheds load at the door instead of growing latency without
+// bound. Draining stops intake (ErrDraining → 503), completes the in-flight
+// epoch, and leaves the committed schedule queryable.
+//
+// Time is pluggable: in wall-clock mode the epoch instant is the elapsed
+// run time scaled by TimeScale; in virtual-clock mode time only moves via
+// Advance, which makes runs fully deterministic — the end-to-end test
+// replays an arrival trace through HTTP and checks the final schedule is
+// bit-identical to dynamic.Simulate replaying the same trace offline.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"datastaging/internal/core"
+	"datastaging/internal/dynamic"
+	"datastaging/internal/explain"
+	"datastaging/internal/model"
+	"datastaging/internal/obs"
+	"datastaging/internal/obs/introspect"
+	"datastaging/internal/scenario"
+	"datastaging/internal/simtime"
+	"datastaging/internal/state"
+)
+
+// Sentinel intake errors. Anything else returned by Submit is a validation
+// failure of the submission itself.
+var (
+	// ErrOverloaded: the bounded intake queue is full; retry later.
+	ErrOverloaded = errors.New("serve: intake queue full")
+	// ErrDraining: the engine is shutting down and accepts no new work.
+	ErrDraining = errors.New("serve: draining, intake closed")
+)
+
+// Options configures an admission engine.
+type Options struct {
+	// Config is the heuristic/criterion pair each admission epoch runs
+	// (Config.Obs, when set, receives all serve.* metrics too).
+	Config core.Config
+	// MaxBatch flushes the intake queue into an epoch when this many
+	// submissions are pending (default 16).
+	MaxBatch int
+	// MaxWait bounds how long a pending submission waits for its epoch in
+	// wall-clock mode (default 25ms). Ignored with VirtualClock.
+	MaxWait time.Duration
+	// QueueCap bounds the intake queue; a full queue rejects submissions
+	// with ErrOverloaded (default 256).
+	QueueCap int
+	// VirtualClock freezes time: the current instant only moves via
+	// Advance, and batches flush on MaxBatch, Advance, Flush, or Drain.
+	// Deterministic; used by tests and trace replay.
+	VirtualClock bool
+	// TimeScale maps wall time to simulated time in wall-clock mode:
+	// simulated = elapsed * TimeScale (default 1). A scale of 60 makes one
+	// wall second one simulated minute, so a day-long scenario can be
+	// driven in minutes.
+	TimeScale float64
+	// Preemption lets a higher-priority arrival displace not-yet-started
+	// transfers of strictly lower-priority items when that strictly
+	// increases the weighted objective.
+	Preemption bool
+	// Intro, when non-nil, receives the live epoch phase for /runinfo.
+	Intro *introspect.Server
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 16
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 25 * time.Millisecond
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 256
+	}
+	if o.TimeScale <= 0 {
+		o.TimeScale = 1
+	}
+	return o
+}
+
+// Ticket tracks one submission through the engine. All state is guarded by
+// the engine; read it through View.
+type Ticket struct {
+	eng *Engine
+	id  string
+	sub Submission
+
+	done chan struct{} // closed at the first verdict
+
+	// Guarded by eng.mu.
+	arrived  simtime.Instant
+	epoch    simtime.Instant
+	item     model.ItemID // -1 while queued
+	status   Status
+	verdicts []RequestVerdict
+	route    []state.Transfer
+	resolved bool
+}
+
+// ID returns the server-assigned ticket id.
+func (t *Ticket) ID() string { return t.id }
+
+// Done is closed when the ticket's admission epoch has run and the first
+// verdict is available. The verdict may still change later (late admission,
+// preemption); View always returns the current one.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// View returns a consistent snapshot of the ticket.
+func (t *Ticket) View() TicketView {
+	t.eng.mu.Lock()
+	defer t.eng.mu.Unlock()
+	return t.viewLocked()
+}
+
+func (t *Ticket) viewLocked() TicketView {
+	v := TicketView{
+		ID:      t.id,
+		Status:  t.status,
+		Item:    int(t.item),
+		Epoch:   Instant(t.epoch),
+		Arrived: Instant(t.arrived),
+	}
+	v.Requests = append(v.Requests, t.verdicts...)
+	v.Route = append(v.Route, t.route...)
+	return v
+}
+
+// Engine is the concurrency-safe admission engine. Create with New, feed
+// with Submit (any number of goroutines), and stop with Drain.
+type Engine struct {
+	opts  Options
+	o     *obs.Obs
+	intro *introspect.Server
+	start time.Time
+
+	mAdmitted, mRejected, mPreempted, mBackpressure, mEpochs *obs.Counter
+	gQueue                                                   *obs.Gauge
+	hBatch                                                   *obs.Histogram
+	epochTimer                                               *obs.PhaseTimer
+
+	mu        sync.Mutex
+	dyn       *dynamic.Engine
+	sc        scenario.Scenario // private copy; Items grows as submissions are admitted
+	queue     []*Ticket
+	flushed   []*Ticket // tickets whose epoch has run, in admission order
+	tickets   map[string]*Ticket
+	preempted map[model.RequestID]bool
+	nextID    int
+	vnow      simtime.Instant // virtual-clock current instant
+	epochs    int
+	lastEpoch simtime.Instant
+	oldest    time.Time // wall enqueue time of the oldest pending submission
+	draining  bool
+	fatal     error // first replan failure; the engine wedges closed
+
+	kick    chan struct{} // wall loop wakeup
+	drainCh chan struct{}
+	stopped chan struct{} // wall loop exited
+}
+
+// New builds an engine over a base scenario, which contributes the network,
+// the garbage-collection policy, and any items already known at time zero
+// (they are planned in the first epoch alongside the first batch). The base
+// scenario is copied; the caller's value is never mutated.
+func New(base *scenario.Scenario, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opts:      opts,
+		o:         opts.Config.Obs,
+		intro:     opts.Intro,
+		start:     time.Now(),
+		sc:        *base,
+		tickets:   make(map[string]*Ticket),
+		preempted: make(map[model.RequestID]bool),
+		kick:      make(chan struct{}, 1),
+		drainCh:   make(chan struct{}),
+		stopped:   make(chan struct{}),
+	}
+	// Deep-copy the item list: flushes append to it.
+	e.sc.Items = append([]model.Item(nil), base.Items...)
+	dyn, err := dynamic.NewEngine(&e.sc, opts.Config)
+	if err != nil {
+		return nil, err
+	}
+	e.dyn = dyn
+
+	e.mAdmitted = e.o.Counter("serve.admitted_total")
+	e.mRejected = e.o.Counter("serve.rejected_total")
+	e.mPreempted = e.o.Counter("serve.preempted_total")
+	e.mBackpressure = e.o.Counter("serve.rejected_backpressure_total")
+	e.mEpochs = e.o.Counter("serve.epochs_total")
+	e.gQueue = e.o.Gauge("serve.queue_depth")
+	e.hBatch = e.o.Histogram("serve.batch_size", []float64{1, 2, 4, 8, 16, 32, 64, 128})
+	e.epochTimer = e.o.Phase("serve.epoch")
+	e.intro.SetPhase("idle")
+
+	if opts.VirtualClock {
+		close(e.stopped) // no background loop to wait for
+	} else {
+		go e.loop()
+	}
+	return e, nil
+}
+
+// Now returns the engine's current simulated instant.
+func (e *Engine) Now() simtime.Instant {
+	if !e.opts.VirtualClock {
+		return e.wallNow()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.vnow
+}
+
+func (e *Engine) wallNow() simtime.Instant {
+	return simtime.At(time.Duration(float64(time.Since(e.start)) * e.opts.TimeScale))
+}
+
+func (e *Engine) nowLocked() simtime.Instant {
+	if e.opts.VirtualClock {
+		return e.vnow
+	}
+	return e.wallNow()
+}
+
+// Submit validates the submission and places it on the intake queue,
+// returning a ticket immediately. The verdict arrives when the submission's
+// admission epoch flushes (Done). Errors: a validation error (malformed
+// submission), ErrOverloaded (queue full — back off and retry), or
+// ErrDraining.
+func (e *Engine) Submit(sub Submission) (*Ticket, error) {
+	if err := sub.validate(e.sc.Network.NumMachines()); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if e.draining || e.fatal != nil {
+		e.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if len(e.queue) >= e.opts.QueueCap {
+		e.mBackpressure.Inc()
+		e.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	t := &Ticket{
+		eng:     e,
+		id:      fmt.Sprintf("r-%d", e.nextID),
+		sub:     sub,
+		done:    make(chan struct{}),
+		arrived: e.nowLocked(),
+		item:    -1,
+		status:  StatusQueued,
+	}
+	e.nextID++
+	if len(e.queue) == 0 {
+		e.oldest = time.Now()
+	}
+	e.queue = append(e.queue, t)
+	e.tickets[t.id] = t
+	e.gQueue.Set(float64(len(e.queue)))
+	if e.opts.VirtualClock && len(e.queue) >= e.opts.MaxBatch {
+		e.flushLocked(e.vnow)
+	}
+	e.mu.Unlock()
+	if !e.opts.VirtualClock {
+		select {
+		case e.kick <- struct{}{}:
+		default:
+		}
+	}
+	return t, nil
+}
+
+// SubmitWait is Submit plus a blocking wait for the first verdict. In
+// virtual-clock mode the verdict only arrives once someone advances the
+// clock or the batch fills, so pair SubmitWait with a driver goroutine.
+func (e *Engine) SubmitWait(ctx context.Context, sub Submission) (*Ticket, error) {
+	t, err := e.Submit(sub)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-t.Done():
+		return t, nil
+	case <-ctx.Done():
+		return t, ctx.Err()
+	}
+}
+
+// Advance moves the virtual clock to instant to (which must not precede the
+// current instant), flushing any pending submissions first at the instant
+// they arrived. Calling Advance with to equal to the current instant is a
+// pure flush. Errors in wall-clock mode.
+func (e *Engine) Advance(to simtime.Instant) error {
+	if !e.opts.VirtualClock {
+		return errors.New("serve: Advance requires the virtual clock")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if to.Before(e.vnow) {
+		return fmt.Errorf("serve: cannot advance backwards (%v < %v)", to, e.vnow)
+	}
+	e.flushLocked(e.vnow)
+	e.vnow = to
+	return e.fatal
+}
+
+// Flush forces a pending batch into an admission epoch at the current
+// instant without waiting for MaxBatch or MaxWait.
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.flushLocked(e.nowLocked())
+	return e.fatal
+}
+
+// Drain closes intake, completes the in-flight epoch (flushing whatever is
+// queued), and stops the background flusher. Safe to call more than once.
+// After Drain returns, the committed schedule is final and the read-side
+// accessors remain usable.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	if e.draining {
+		e.mu.Unlock()
+		select {
+		case <-e.stopped:
+			return e.fatal
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	e.draining = true
+	if e.opts.VirtualClock {
+		e.flushLocked(e.vnow)
+		e.mu.Unlock()
+		return e.fatal
+	}
+	e.mu.Unlock()
+	close(e.drainCh)
+	select {
+	case <-e.stopped:
+		return e.fatal
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// loop is the wall-clock flusher: it runs epochs when a batch fills or the
+// oldest pending submission has waited MaxWait.
+func (e *Engine) loop() {
+	defer close(e.stopped)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	armed := false
+	disarm := func() {
+		if armed && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		armed = false
+	}
+	for {
+		select {
+		case <-e.kick:
+		case <-timer.C:
+			armed = false
+		case <-e.drainCh:
+			disarm()
+			e.mu.Lock()
+			e.flushLocked(e.nowLocked())
+			e.mu.Unlock()
+			return
+		}
+		e.mu.Lock()
+		switch {
+		case len(e.queue) == 0:
+			e.mu.Unlock()
+			disarm()
+		case len(e.queue) >= e.opts.MaxBatch || time.Since(e.oldest) >= e.opts.MaxWait:
+			e.flushLocked(e.nowLocked())
+			e.mu.Unlock()
+			disarm()
+		default:
+			wait := e.opts.MaxWait - time.Since(e.oldest)
+			e.mu.Unlock()
+			disarm()
+			timer.Reset(wait)
+			armed = true
+		}
+	}
+}
+
+// flushLocked runs one admission epoch at instant at over everything
+// pending: extend the scenario with the batch's items, replan with the
+// committed schedule locked in, optionally attempt preemption, then assign
+// verdicts. Call with e.mu held.
+func (e *Engine) flushLocked(at simtime.Instant) {
+	if len(e.queue) == 0 || e.fatal != nil {
+		return
+	}
+	batch := e.queue
+	e.queue = nil
+	e.gQueue.Set(0)
+	span := e.epochTimer.Start()
+	e.epochs++
+	e.mEpochs.Inc()
+	e.lastEpoch = at
+	e.intro.SetPhase(fmt.Sprintf("epoch %d @ %v (%d submissions)", e.epochs, at, len(batch)))
+	e.hBatch.Observe(float64(len(batch)))
+
+	for _, t := range batch {
+		id := model.ItemID(len(e.sc.Items))
+		t.item = id
+		t.epoch = at
+		e.sc.Items = append(e.sc.Items, t.sub.item(id))
+	}
+	e.dyn.SetScenario(&e.sc)
+
+	if _, err := e.dyn.ReplanAt(at); err != nil {
+		e.failLocked(err, batch)
+		span.Stop()
+		return
+	}
+	if e.opts.Preemption {
+		e.preemptLocked(at, batch)
+		if e.fatal != nil {
+			span.Stop()
+			return
+		}
+	}
+	e.settleLocked(batch)
+	for _, t := range batch {
+		e.flushed = append(e.flushed, t)
+		if !t.resolved {
+			t.resolved = true
+			close(t.done)
+		}
+	}
+	span.Stop()
+	e.intro.SetPhase("idle")
+}
+
+// failLocked wedges the engine after a replan failure: the batch (and any
+// future submission) is rejected with the internal error, and Drain
+// surfaces it.
+func (e *Engine) failLocked(err error, batch []*Ticket) {
+	e.fatal = err
+	for _, t := range batch {
+		t.status = StatusRejected
+		for k, rq := range t.sub.Requests {
+			t.verdicts = append(t.verdicts, RequestVerdict{
+				Request:    model.RequestID{Item: t.item, Index: k},
+				Machine:    rq.Machine,
+				Status:     StatusRejected,
+				Deadline:   rq.Deadline,
+				Reason:     "internal: " + err.Error(),
+				BlamedLink: -1,
+			})
+		}
+		if !t.resolved {
+			t.resolved = true
+			close(t.done)
+		}
+	}
+}
+
+// preemptLocked attempts to displace not-yet-started transfers of strictly
+// lower-priority items on behalf of unsatisfied new requests. The
+// displacement is kept only when it strictly improves the weighted
+// objective; otherwise the checkpoint is rolled back and the world replans
+// to the bit-identical pre-speculation schedule.
+func (e *Engine) preemptLocked(at simtime.Instant, batch []*Ticket) {
+	sat := e.dyn.Satisfied()
+	maxPri := -1
+	for _, t := range batch {
+		for k, rq := range e.sc.Items[t.item].Requests {
+			if _, ok := sat[model.RequestID{Item: t.item, Index: k}]; !ok && int(rq.Priority) > maxPri {
+				maxPri = int(rq.Priority)
+			}
+		}
+	}
+	if maxPri <= 0 {
+		return // nothing unsatisfied, or nothing that outranks any priority
+	}
+	prevValue := e.weightedValueLocked()
+	prevSat := make(map[model.RequestID]simtime.Instant, len(sat))
+	for id, t := range sat {
+		prevSat[id] = t
+	}
+	cp := e.dyn.Checkpoint()
+	dropped := e.dyn.DropHistory(func(tr state.Transfer) bool {
+		return !tr.Start.Before(at) && e.itemMaxPriorityLocked(tr.Item) < maxPri
+	})
+	if dropped == 0 {
+		return
+	}
+	if _, err := e.dyn.ReplanAt(at); err != nil {
+		e.failLocked(err, batch)
+		return
+	}
+	if e.weightedValueLocked() > prevValue {
+		newSat := e.dyn.Satisfied()
+		for id := range prevSat {
+			if _, ok := newSat[id]; !ok {
+				e.preempted[id] = true
+				e.mPreempted.Inc()
+			}
+		}
+		return
+	}
+	e.dyn.Rollback(cp)
+	if _, err := e.dyn.ReplanAt(at); err != nil {
+		e.failLocked(err, batch)
+	}
+}
+
+func (e *Engine) itemMaxPriorityLocked(item model.ItemID) int {
+	max := -1
+	for _, rq := range e.sc.Items[item].Requests {
+		if int(rq.Priority) > max {
+			max = int(rq.Priority)
+		}
+	}
+	return max
+}
+
+func (e *Engine) weightedValueLocked() float64 {
+	var sum float64
+	for id := range e.dyn.Satisfied() {
+		sum += e.opts.Config.Weights.Of((&e.sc).Request(id).Priority)
+	}
+	return sum
+}
+
+// settleLocked refreshes every flushed ticket's verdicts against the
+// current satisfaction map. New tickets (the batch) get full verdicts with
+// an explain diagnosis on rejection; older tickets only transition status
+// (late admission, preemption) without re-diagnosing.
+func (e *Engine) settleLocked(batch []*Ticket) {
+	inBatch := make(map[*Ticket]bool, len(batch))
+	for _, t := range batch {
+		inBatch[t] = true
+	}
+	sat := e.dyn.Satisfied()
+	st := e.dyn.State()
+
+	for _, t := range e.flushed {
+		e.settleTicketLocked(t, sat, st, false)
+	}
+	for _, t := range batch {
+		e.settleTicketLocked(t, sat, st, true)
+	}
+}
+
+func (e *Engine) settleTicketLocked(t *Ticket, sat map[model.RequestID]simtime.Instant,
+	st *state.State, fresh bool) {
+
+	if fresh {
+		t.verdicts = make([]RequestVerdict, 0, len(t.sub.Requests))
+		for k, rq := range t.sub.Requests {
+			t.verdicts = append(t.verdicts, RequestVerdict{
+				Request:    model.RequestID{Item: t.item, Index: k},
+				Machine:    rq.Machine,
+				Deadline:   rq.Deadline,
+				BlamedLink: -1,
+			})
+		}
+	}
+	admitted := 0
+	preempted := 0
+	for k := range t.verdicts {
+		v := &t.verdicts[k]
+		if arr, ok := sat[v.Request]; ok {
+			if !fresh && v.Status != StatusAdmitted {
+				// Late admission: a replan for a later epoch found room.
+				e.mAdmitted.Inc()
+			}
+			delete(e.preempted, v.Request)
+			v.Status = StatusAdmitted
+			v.Completion = Instant(arr)
+			v.Reason = ""
+			v.BlamedLink = -1
+			admitted++
+			continue
+		}
+		switch {
+		case fresh:
+			v.Status = StatusRejected
+			e.mRejected.Inc()
+			e.diagnoseLocked(v)
+		case v.Status == StatusAdmitted && e.preempted[v.Request]:
+			v.Status = StatusPreempted
+			v.Completion = 0
+			v.Reason = "displaced by a higher-priority arrival"
+		case v.Status == StatusAdmitted:
+			// Lost satisfaction without a preemption marker (cannot happen
+			// without link failures, which serve does not inject).
+			v.Status = StatusRejected
+			v.Completion = 0
+		}
+		if v.Status == StatusPreempted {
+			preempted++
+		}
+	}
+	switch {
+	case admitted > 0:
+		t.status = StatusAdmitted
+	case preempted > 0:
+		t.status = StatusPreempted
+	default:
+		t.status = StatusRejected
+	}
+	t.route = st.TransfersFor(t.item)
+	if fresh {
+		e.mAdmitted.Add(int64(admitted))
+	}
+}
+
+// diagnoseLocked fills a fresh rejection's blame via explain: the verdict
+// class and, for contention, the most-obstructed link of the ideal path.
+func (e *Engine) diagnoseLocked(v *RequestVerdict) {
+	rep, err := explain.Diagnose(&e.sc, e.dyn.Transfers(), v.Request)
+	if err != nil {
+		v.Reason = "undiagnosed: " + err.Error()
+		return
+	}
+	v.Reason = rep.Verdict.String()
+	if link, _, ok := rep.BlamedLink(); ok {
+		v.BlamedLink = int(link)
+	}
+}
+
+// TicketView returns the current state of one submission.
+func (e *Engine) TicketView(id string) (TicketView, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tickets[id]
+	if !ok {
+		return TicketView{}, false
+	}
+	return t.viewLocked(), true
+}
+
+// Schedule returns a snapshot of the committed schedule and objective.
+func (e *Engine) Schedule() ScheduleView {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v := ScheduleView{
+		Now:           Instant(e.nowLocked()),
+		Epochs:        e.epochs,
+		Items:         len(e.sc.Items),
+		TotalRequests: (&e.sc).NumRequests(),
+		Satisfied:     len(e.dyn.Satisfied()),
+		WeightedValue: e.weightedValueLocked(),
+	}
+	v.Transfers = append(v.Transfers, e.dyn.Transfers()...)
+	return v
+}
+
+// Info describes the service for clients (notably the load generator).
+func (e *Engine) Info() Info {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Info{
+		Scenario:  e.sc.Name,
+		Machines:  e.sc.Network.NumMachines(),
+		Links:     len(e.sc.Network.Links),
+		Items:     len(e.sc.Items),
+		Horizon:   Instant(e.sc.Horizon),
+		Now:       Instant(e.nowLocked()),
+		Queue:     len(e.queue),
+		QueueCap:  e.opts.QueueCap,
+		MaxBatch:  e.opts.MaxBatch,
+		Virtual:   e.opts.VirtualClock,
+		Scheduler: fmt.Sprintf("%v/%v", e.opts.Config.Heuristic, e.opts.Config.Criterion),
+		Draining:  e.draining,
+	}
+}
+
+// Scenario returns the engine's scenario including every admitted item.
+// Only safe once the engine is quiescent (after Drain); used by tests to
+// run the independent validator over the final schedule.
+func (e *Engine) Scenario() *scenario.Scenario {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return &e.sc
+}
+
+// Err reports the first fatal replan error, if any.
+func (e *Engine) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fatal
+}

@@ -435,6 +435,20 @@ func (st *State) Outage(id model.LinkID) (simtime.Instant, bool) {
 // shared; do not mutate.
 func (st *State) Transfers() []Transfer { return st.transfers }
 
+// TransfersFor returns the committed transfers of one item in commit order —
+// the item's staging route through the network. The admission service
+// reports this as an admitted request's committed route. The returned slice
+// is freshly allocated.
+func (st *State) TransfersFor(item model.ItemID) []Transfer {
+	var out []Transfer
+	for _, tr := range st.transfers {
+		if tr.Item == item {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
 // Satisfied returns the arrival instant of every satisfied request. The map
 // is shared; do not mutate.
 func (st *State) Satisfied() map[model.RequestID]simtime.Instant { return st.satisfied }
