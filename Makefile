@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json bench-smoke serve-smoke trace-check cover cover-check fuzz study examples clean
+.PHONY: all build vet test test-short race bench bench-json bench-smoke serve-smoke soak-smoke trace-check cover cover-check fuzz study examples clean
 
 all: build vet test
 
@@ -46,6 +46,12 @@ bench-smoke:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# A short admission-latency soak: a few thousand submissions through the
+# daemon with a gate on the completion-order latency slope — per-epoch
+# admission cost must stay flat as the committed schedule grows.
+soak-smoke:
+	sh scripts/soak_smoke.sh
+
 # Export a Perfetto trace from a paper-scale run and validate its
 # structure: well-formed JSON, non-empty, monotone timestamps per track,
 # and non-overlapping transfer spans per link.
@@ -70,6 +76,7 @@ fuzz:
 	$(GO) test ./internal/validator/ -run='^$$' -fuzz=FuzzValidateRoundTrip -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/simtime/ -run='^$$' -fuzz=FuzzKernelEquivalence -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/resource/ -run='^$$' -fuzz=FuzzKernelEquivalence -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/dynamic/ -run='^$$' -fuzz=FuzzEngineIncrementalEquivalence -fuzztime=$(FUZZTIME)
 
 # Reproduce the paper's full simulation study (40 cases, both weightings,
 # all extension sweeps). Takes a few minutes on one core.

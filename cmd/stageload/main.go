@@ -9,11 +9,19 @@
 //	          [-size-min BYTES] [-size-max BYTES]
 //	          [-slack-min DUR] [-slack-max DUR] [-max-priority 2]
 //	          [-backoff DUR] [-timeout DUR] [-min-admitted N]
+//	          [-windows K] [-max-slope X]
 //
 // Each worker keeps one submission in flight (POST /v1/requests?wait=1),
 // backing off and retrying on 429. -min-admitted makes the run a check:
 // the exit status is non-zero unless at least that many submissions were
 // admitted — the smoke test's assertion.
+//
+// Soak mode: -windows K splits the decided-submission latencies into K
+// completion-order windows and reports each window's mean; -max-slope X
+// fails the run when the last window's mean exceeds the first's by more
+// than the ratio X. A growing slope means per-epoch admission cost scales
+// with the committed history — the regression the incremental engine
+// exists to prevent.
 package main
 
 import (
@@ -52,6 +60,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	backoff := fs.Duration("backoff", 50*time.Millisecond, "retry delay after a 429")
 	timeout := fs.Duration("timeout", 2*time.Minute, "overall run budget")
 	minAdmitted := fs.Int("min-admitted", 0, "fail unless at least this many submissions were admitted")
+	windows := fs.Int("windows", 0,
+		"split latencies into this many completion-order windows and report their means (soak mode)")
+	maxSlope := fs.Float64("max-slope", 0,
+		"fail when last-window mean latency exceeds first-window mean by this ratio (requires -windows)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,6 +85,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	rep.Write(out)
+	if *windows > 1 {
+		means := rep.WindowMeans(*windows)
+		fmt.Fprintf(out, "windows   ")
+		for _, m := range means {
+			fmt.Fprintf(out, " %v", m.Round(time.Microsecond))
+		}
+		fmt.Fprintln(out)
+		slope := rep.Slope(*windows)
+		fmt.Fprintf(out, "slope      %.2f (last/first window mean latency)\n", slope)
+		if *maxSlope > 0 && slope > *maxSlope {
+			return fmt.Errorf("latency slope %.2f exceeds -max-slope %.2f: per-epoch cost is growing with history", slope, *maxSlope)
+		}
+	}
 	if rep.Admitted < *minAdmitted {
 		return fmt.Errorf("admitted %d submissions, need at least %d", rep.Admitted, *minAdmitted)
 	}

@@ -15,7 +15,7 @@
 //	         [-eu LOG10|inf|-inf] [-weights 1,10,100] [-parallel N]
 //	         [-max-batch N] [-max-wait DUR] [-queue-cap N]
 //	         [-virtual-clock] [-time-scale X] [-preempt]
-//	         [-drain-timeout DUR]
+//	         [-no-diagnose] [-force-full-replay] [-drain-timeout DUR]
 //
 // API (all JSON):
 //
@@ -86,6 +86,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	timeScale := fs.Float64("time-scale", 1, "simulated seconds per wall second (wall clock)")
 	preempt := fs.Bool("preempt", false,
 		"let higher-priority arrivals displace not-yet-started lower-priority transfers")
+	noDiagnose := fs.Bool("no-diagnose", false,
+		"skip the explain blame on rejections (cheaper epochs for reject-heavy soaks)")
+	forceFullReplay := fs.Bool("force-full-replay", false,
+		"rebuild the world from history every epoch instead of replanning incrementally (baseline mode)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,18 +125,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			"max-batch": fmt.Sprint(*maxBatch), "max-wait": maxWait.String(),
 			"queue-cap": fmt.Sprint(*queueCap), "virtual-clock": fmt.Sprint(*virtual),
 			"preempt": fmt.Sprint(*preempt), "weights": *weightsName,
+			"force-full-replay": fmt.Sprint(*forceFullReplay),
 		},
 	})
 
 	eng, err := serve.New(sc, serve.Options{
-		Config:       cfg,
-		MaxBatch:     *maxBatch,
-		MaxWait:      *maxWait,
-		QueueCap:     *queueCap,
-		VirtualClock: *virtual,
-		TimeScale:    *timeScale,
-		Preemption:   *preempt,
-		Intro:        intro,
+		Config:          cfg,
+		MaxBatch:        *maxBatch,
+		MaxWait:         *maxWait,
+		QueueCap:        *queueCap,
+		VirtualClock:    *virtual,
+		TimeScale:       *timeScale,
+		Preemption:      *preempt,
+		SkipDiagnosis:   *noDiagnose,
+		ForceFullReplay: *forceFullReplay,
+		Intro:           intro,
 	})
 	if err != nil {
 		return err

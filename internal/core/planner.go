@@ -64,7 +64,17 @@ type planner struct {
 	fresh []bool
 	// dead[i] marks an item with no satisfiable open request; resources
 	// only shrink, so dead items never revive and are skipped forever.
-	dead  []bool
+	dead []bool
+	// live lists the not-yet-dead items in ascending ID order; candidate
+	// passes iterate it (compacting dead entries away) instead of scanning
+	// every scenario item, so a long-lived incremental planner pays per
+	// epoch for its open backlog, not for the world's whole history.
+	// Withheld items stay live until released. Invariant: live is a
+	// superset of the items with dead[i] == false, ascending; items that
+	// die during a candidates pass linger until the next pass compacts
+	// them (their plans are already recycled, so the lingering entries
+	// are nil-plan no-ops everywhere live is walked).
+	live  []model.ItemID
 	stats Stats
 	// freePlans recycles invalidated Plan structs: their slices back the
 	// next recompute instead of being reallocated.
@@ -93,6 +103,10 @@ type planner struct {
 	tr          *obs.Tracer
 	replanTimer *obs.PhaseTimer
 	obsOn       bool
+	// flushedScratch snapshots the last scratch stats flushed into the
+	// registry so repeated flushes (one per incremental epoch) only add
+	// deltas to the counters.
+	flushedScratch dijkstra.ScratchStats
 	mIterations, mCommits, mDijkstra, mCacheHits, mInvalidations,
 	mParallelBatches, mBatchedRuns, mCostEvals, mSatisfied *obs.Counter
 	hCandidates, hSlack *obs.Histogram
@@ -113,8 +127,12 @@ func plannerOn(st *state.State, cfg Config) *planner {
 		plans:    make([]*dijkstra.Plan, items),
 		fresh:    make([]bool, items),
 		dead:     make([]bool, items),
+		live:     make([]model.ItemID, items),
 		scratch:  dijkstra.NewScratch(),
 		paranoid: cfg.Paranoid,
+	}
+	for i := range p.live {
+		p.live[i] = model.ItemID(i)
 	}
 	o := cfg.Obs
 	p.tr = o.Trace()
@@ -139,6 +157,9 @@ func plannerOn(st *state.State, cfg Config) *planner {
 
 // flushScratchMetrics aggregates the Dijkstra scratch counters (reuse
 // hits, buffer grows, heap high-water) into the registry at end of run.
+// Scratch stats are cumulative over the scratch's lifetime, so a persistent
+// planner flushing once per epoch adds only the delta since the last flush
+// (the high-water gauge takes the cumulative max either way).
 func (p *planner) flushScratchMetrics() {
 	if !p.obsOn {
 		return
@@ -147,10 +168,12 @@ func (p *planner) flushScratchMetrics() {
 	for _, s := range p.workerScratch {
 		ds.Add(s.Stats())
 	}
+	prev := p.flushedScratch
+	p.flushedScratch = ds
 	o := p.cfg.Obs
-	o.Counter("dijkstra.computes_total").Add(int64(ds.Computes))
-	o.Counter("dijkstra.scratch_reuse_hits_total").Add(int64(ds.ReuseHits()))
-	o.Counter("dijkstra.scratch_grows_total").Add(int64(ds.Grows))
+	o.Counter("dijkstra.computes_total").Add(int64(ds.Computes - prev.Computes))
+	o.Counter("dijkstra.scratch_reuse_hits_total").Add(int64(ds.ReuseHits() - prev.ReuseHits()))
+	o.Counter("dijkstra.scratch_grows_total").Add(int64(ds.Grows - prev.Grows))
 	o.Gauge("dijkstra.heap_high_water").SetMax(float64(ds.HeapHighWater))
 }
 
@@ -181,11 +204,48 @@ func (p *planner) invalidate(item model.ItemID, why obs.Reason) {
 }
 
 // markDead retires an item forever (resources only shrink, so dead items
-// never revive).
+// never revive). Its cached forest, if any, is recycled on the spot: a dead
+// item's forest is never consulted again, and a long-lived incremental
+// planner must not pin one Plan per retired item for the life of the world.
+// The next candidates pass drops the item from the live list.
 func (p *planner) markDead(item model.ItemID, why obs.Reason) {
 	p.dead[item] = true
+	p.invalidate(item, why)
 	if p.tr.Enabled() {
 		p.tr.Emit(obs.Event{Kind: obs.EvItemDead, Item: int(item), Reason: why})
+	}
+}
+
+// grow extends the per-item planner bookkeeping to cover items appended to
+// the scenario since the planner was built (incremental epochs over an
+// append-only growing scenario). New items start live with no cached
+// forest.
+func (p *planner) grow() {
+	items := len(p.st.Scenario().Items)
+	for i := len(p.plans); i < items; i++ {
+		p.plans = append(p.plans, nil)
+		p.fresh = append(p.fresh, false)
+		p.dead = append(p.dead, false)
+		p.live = append(p.live, model.ItemID(i))
+	}
+}
+
+// advanceFloor moves the planning floor to at and drops every cached
+// forest the advance could reshape: forests that planned a hop starting
+// before the new floor, and cap-blocked forests (a failed capacity check
+// can flip to success at a later floor because the hold interval shrinks —
+// see dijkstra.Plan.CapBlocked). Everything else is exactly what a fresh
+// computation would produce (see dijkstra.Plan.EarliestHopStart), so it
+// carries across the epoch boundary and its item skips a Dijkstra rerun.
+func (p *planner) advanceFloor(at simtime.Instant) {
+	if at == p.st.Floor() {
+		return
+	}
+	p.st.SetFloor(at)
+	for _, item := range p.live {
+		if pl := p.plans[item]; pl != nil && (pl.CapBlocked || pl.EarliestHopStart() < at) {
+			p.invalidate(item, obs.ReasonFloor)
+		}
 	}
 }
 
@@ -232,11 +292,9 @@ func (p *planner) prefetch() {
 	if p.workers <= 1 {
 		return
 	}
-	sc := p.st.Scenario()
 	queue := p.queue[:0]
-	for i := range sc.Items {
-		item := model.ItemID(i)
-		if p.dead[i] || p.plans[i] != nil || !p.st.IsReleased(item) {
+	for _, item := range p.live {
+		if p.dead[item] || p.plans[item] != nil || !p.st.IsReleased(item) {
 			continue
 		}
 		if len(p.openRequests(item)) == 0 {
@@ -322,9 +380,15 @@ func (p *planner) candidates() []candidate {
 	p.prefetch()
 	sc := p.st.Scenario()
 	out := p.cands[:0]
-	for i := range sc.Items {
-		item := model.ItemID(i)
-		if p.dead[i] || !p.st.IsReleased(item) {
+	live := p.live
+	w := 0
+	for _, item := range live {
+		if p.dead[item] {
+			continue // compacted out of the live list for good
+		}
+		live[w] = item
+		w++
+		if !p.st.IsReleased(item) {
 			continue // never mark withheld items dead: they may be released later
 		}
 		open := p.openRequests(item)
@@ -373,10 +437,17 @@ func (p *planner) candidates() []candidate {
 		if len(out) == firstLen {
 			// No satisfiable destination now means never: the item's own
 			// arrivals improve only when it is scheduled, which requires a
-			// candidate, and other commits only consume resources.
-			p.markDead(item, obs.ReasonUnsatisfiable)
+			// candidate, and other commits only consume resources. The one
+			// exception is a cap-blocked forest — a later planning floor
+			// shortens hold intervals, so a destination unreachable for
+			// lack of storage today can open up at a future epoch; such
+			// items stay live and are re-examined after floor advances.
+			if !pl.CapBlocked {
+				p.markDead(item, obs.ReasonUnsatisfiable)
+			}
 		}
 	}
+	p.live = live[:w]
 	p.cands = out
 	return out
 }
@@ -413,12 +484,16 @@ func (p *planner) commit(item model.ItemID, link model.LinkID, start simtime.Ins
 		}
 		return nil
 	}
-	for i, pl := range p.plans {
-		if pl == nil || p.dead[i] || model.ItemID(i) == item {
+	// Only live items can hold a cached forest: markDead recycles the
+	// plan, so a nil check covers items that died since the last
+	// compaction of the live list.
+	for _, i := range p.live {
+		pl := p.plans[i]
+		if pl == nil || i == item {
 			continue
 		}
 		if p.planConflicts(pl, tr) {
-			p.invalidate(model.ItemID(i), obs.ReasonConflict)
+			p.invalidate(i, obs.ReasonConflict)
 			p.stats.Invalidations++
 			p.mInvalidations.Inc()
 		}

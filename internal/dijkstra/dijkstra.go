@@ -55,6 +55,17 @@ type Plan struct {
 	Via     []model.LinkID
 	Start   []simtime.Instant
 	Dur     []time.Duration
+	// CapBlocked records that some relaxation failed its storage-capacity
+	// check during the computation. Capacity is the one feasibility gate
+	// that is NOT monotone in the planning floor: a later floor delays the
+	// arrival, which SHORTENS the hold interval [arrival, gc end], so a
+	// failed CanReserve can flip to success when the floor advances. Every
+	// other gate (slot fit, copy lifetime, label domination) only gets
+	// harder. A cap-blocked forest therefore cannot be carried across a
+	// floor advance, and an item whose forest is cap-blocked cannot be
+	// written off as permanently unsatisfiable; see the incremental
+	// planner in internal/core.
+	CapBlocked bool
 }
 
 // Hop is one transfer along a planned path.
@@ -139,6 +150,7 @@ func (s *Scratch) Compute(st *state.State, item model.ItemID, reuse *Plan) *Plan
 		p = &Plan{}
 	}
 	p.Item = item
+	p.CapBlocked = false
 	p.Arrival = growSlice(p.Arrival, m)
 	p.Pred = growSlice(p.Pred, m)
 	p.Via = growSlice(p.Via, m)
@@ -201,6 +213,7 @@ func (s *Scratch) Compute(st *state.State, item model.ItemID, reuse *Plan) *Plan
 				}
 				hold := st.HoldInterval(item, v, arrival)
 				if !st.Capacity(v).CanReserve(size, hold) {
+					p.CapBlocked = true
 					continue
 				}
 				p.Arrival[v] = arrival
@@ -228,6 +241,28 @@ func growSlice[T any](s []T, n int) []T {
 // Reachable reports whether a copy can reach machine m in the current
 // state (holders are trivially reachable).
 func (p *Plan) Reachable(m model.MachineID) bool { return p.Arrival[m] != simtime.Never }
+
+// EarliestHopStart returns the earliest start instant of any planned hop in
+// the forest, or simtime.Forever when the forest plans no hop at all. A
+// non-CapBlocked forest computed under planning floor f stays exactly the
+// forest a fresh computation would produce for any floor f' in
+// (f, EarliestHopStart]: every relaxation clamps its ready time to the
+// floor, raising the clamp below the earliest slot actually found changes
+// no successful label (slot queries are monotone in the ready time and the
+// free sets are unchanged), and every failed or dominated relaxation fails
+// the same monotone gate again at the higher floor — except a failed
+// capacity check, which CapBlocked flags. The incremental planner in
+// internal/core uses this pair to decide which cached forests survive a
+// floor advance.
+func (p *Plan) EarliestHopStart() simtime.Instant {
+	earliest := simtime.Forever
+	for v := range p.Via {
+		if p.Via[v] != NoLink && p.Start[v] < earliest {
+			earliest = p.Start[v]
+		}
+	}
+	return earliest
+}
 
 // IsRoot reports whether machine m holds the item in the planned forest.
 func (p *Plan) IsRoot(m model.MachineID) bool {

@@ -155,20 +155,28 @@ func checkEvent(sc *scenario.Scenario, ev Event) error {
 	return nil
 }
 
-// observeEpoch records one completed epoch replan: a counter per replan,
-// a counter for transfers newly aborted at this epoch, a gauge holding the
-// current epoch instant (so a live /metrics scrape shows how far the
-// simulation has advanced), and an EvEpochReplan event carrying the epoch
-// instant and the abort count. A nil Obs makes every call a no-op.
-func observeEpoch(o *obs.Obs, at simtime.Instant, aborted int) {
+// observeEpoch records one completed epoch replan: a counter per replan
+// (split by incremental vs full-replay path), a counter for transfers
+// newly aborted at this epoch, one for transfers the epoch had to replay
+// (always zero on the incremental path), a gauge holding the current epoch
+// instant (so a live /metrics scrape shows how far the simulation has
+// advanced), and an EvEpochReplan event carrying the epoch instant and the
+// abort count. A nil Obs makes every call a no-op.
+func observeEpoch(o *obs.Obs, es EpochStats) {
 	if o == nil {
 		return
 	}
 	o.Counter("dynamic.replans_total").Inc()
-	o.Counter("dynamic.aborted_transfers_total").Add(int64(aborted))
-	o.Gauge("dynamic.current_epoch_seconds").Set(at.Seconds())
+	if es.Full {
+		o.Counter("dynamic.replans_full_total").Inc()
+	} else {
+		o.Counter("dynamic.replans_incremental_total").Inc()
+	}
+	o.Counter("dynamic.replayed_transfers_total").Add(int64(es.ReplayedTransfers))
+	o.Counter("dynamic.aborted_transfers_total").Add(int64(es.Aborted))
+	o.Gauge("dynamic.current_epoch_seconds").Set(es.At.Seconds())
 	if tr := o.Trace(); tr.Enabled() {
-		tr.Emit(obs.Event{Kind: obs.EvEpochReplan, At: int64(at), N: aborted})
+		tr.Emit(obs.Event{Kind: obs.EvEpochReplan, At: int64(es.At), N: es.Aborted})
 	}
 }
 

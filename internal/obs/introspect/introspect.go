@@ -48,6 +48,7 @@ type Server struct {
 	mu    sync.Mutex
 	info  RunInfo
 	phase string
+	stats map[string]string
 }
 
 // NewServer returns a server exposing the given observability handles
@@ -74,6 +75,22 @@ func (s *Server) SetPhase(phase string) {
 	}
 	s.mu.Lock()
 	s.phase = phase
+	s.mu.Unlock()
+}
+
+// SetStat publishes one live key/value statistic under "stats" in
+// /runinfo — small, frequently-updated facts that don't fit the static
+// RunInfo (the admission service uses it for the last epoch's
+// incremental-vs-full path and delta sizes).
+func (s *Server) SetStat(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.stats == nil {
+		s.stats = make(map[string]string)
+	}
+	s.stats[key] = value
 	s.mu.Unlock()
 }
 
@@ -170,12 +187,19 @@ func (s *Server) events(w http.ResponseWriter, _ *http.Request) {
 // runinfoResponse is the /runinfo document.
 type runinfoResponse struct {
 	RunInfo
-	Phase string `json:"phase,omitempty"`
+	Phase string            `json:"phase,omitempty"`
+	Stats map[string]string `json:"stats,omitempty"`
 }
 
 func (s *Server) runinfo(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	resp := runinfoResponse{RunInfo: s.info, Phase: s.phase}
+	if len(s.stats) > 0 {
+		resp.Stats = make(map[string]string, len(s.stats))
+		for k, v := range s.stats {
+			resp.Stats[k] = v
+		}
+	}
 	s.mu.Unlock()
 	writeJSON(w, resp)
 }

@@ -92,6 +92,10 @@ const (
 	// ReasonUnsatisfiable: the item has open requests but no satisfiable
 	// destination in the current resource state.
 	ReasonUnsatisfiable
+	// ReasonFloor: the planning floor advanced past a hop the cached
+	// forest had planned, so the forest may no longer be achievable
+	// (incremental epochs carry the plan cache across floor advances).
+	ReasonFloor
 )
 
 var reasonNames = map[Reason]string{
@@ -101,6 +105,7 @@ var reasonNames = map[Reason]string{
 	ReasonParanoid:       "paranoid",
 	ReasonNoOpenRequests: "no_open_requests",
 	ReasonUnsatisfiable:  "unsatisfiable",
+	ReasonFloor:          "floor",
 }
 
 // String returns the snake_case reason name ("" for none).

@@ -48,6 +48,19 @@ type Capacity struct {
 	idx   minTable
 	dirty atomic.Bool
 	mu    sync.Mutex
+
+	// dirtyFrom is the lowest segment index a mutation has touched since
+	// the last index rebuild (len(segs) when the index is clean). Segment
+	// indices below it are byte-identical to what the last rebuild saw —
+	// inserts, removals, and avail changes all happen at or after the
+	// mark — so the rebuild only recomputes table entries whose window
+	// reaches into the dirty suffix. Under the scheduler's frontier-
+	// biased mutation pattern (reservations start near the planning
+	// floor, i.e. near the end of the timeline) this turns the O(n log n)
+	// full rebuild into a near-O(log n) touch-up. Written only by
+	// mutators, read only under mu; covered by the mutations-never-race-
+	// queries contract above.
+	dirtyFrom int
 }
 
 type capSegment struct {
@@ -118,51 +131,101 @@ func (c *Capacity) ensureIndex() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.dirty.Load() {
-		c.idx.rebuild(c.segs)
+		c.idx.rebuild(c.segs, c.dirtyFrom)
+		c.dirtyFrom = len(c.segs)
 		c.dirty.Store(false)
 	}
 }
 
-// minTable is a sparse table for range-minimum queries over the segment
-// availabilities: level[k][i] is the minimum over segs[i : i+2^k]. Build
-// is O(n log n); queries are O(1). Rebuilds reuse the backing arrays, so
-// the steady state allocates nothing.
-type minTable struct {
-	level [][]int64
+// markDirty records that segment indices >= i may have changed since the
+// last rebuild.
+func (c *Capacity) markDirty(i int) {
+	if !c.dirty.Load() {
+		c.dirtyFrom = i
+		c.dirty.Store(true)
+	} else if i < c.dirtyFrom {
+		c.dirtyFrom = i
+	}
 }
 
-func (m *minTable) rebuild(segs []capSegment) {
+// minTable is a sparse table for range-minimum queries over the segment
+// availabilities: level[k][i] is the minimum over segs[i : i+2^k]. A full
+// build is O(n log n); queries are O(1). Rebuilds are incremental: given
+// the lowest segment index mutated since the last build, only entries
+// whose window reaches into that suffix are recomputed, and backing
+// arrays are reused, so the steady state allocates nothing.
+type minTable struct {
+	level [][]int64
+	// built[k] is how many leading entries of level[k] were valid after
+	// the last rebuild. Rows dropped when the profile shrank below a
+	// power of two are marked stale (built = 0) so a later regrowth
+	// rebuilds them from scratch instead of trusting values computed
+	// against a long-gone segment layout.
+	built []int
+}
+
+// rebuild refreshes the table for segs, where segment indices below
+// `from` are unchanged since the last rebuild. A level-k entry at i
+// covers segs[i : i+2^k]; it stays valid iff that window lies entirely
+// in the unchanged prefix AND the entry was valid last time, so the scan
+// restarts at min(from-2^k+1, built[k]).
+func (m *minTable) rebuild(segs []capSegment, from int) {
 	n := len(segs)
-	levels := bits.Len(uint(n)) // 2^(levels-1) <= n
-	if cap(m.level) < levels {
-		m.level = append(m.level[:cap(m.level)], make([][]int64, levels-cap(m.level))...)
+	if from < 0 {
+		from = 0
 	}
-	m.level = m.level[:levels]
+	if from > n {
+		from = n
+	}
+	levels := bits.Len(uint(n)) // 2^(levels-1) <= n
+	for len(m.level) < levels {
+		m.level = append(m.level, nil)
+		m.built = append(m.built, 0)
+	}
+	for k := levels; k < len(m.built); k++ {
+		m.built[k] = 0
+	}
 	// Profiles grow a few segments per commit, so size fresh rows with
 	// slack: without it every rebuild of a growing profile reallocates
-	// every level.
+	// every level. Reallocation copies the old row so the valid prefix
+	// survives.
 	grow := func(s []int64, n int) []int64 {
 		if cap(s) < n {
-			return make([]int64, n, 2*n)
+			ns := make([]int64, n, 2*n)
+			copy(ns, s)
+			return ns
 		}
 		return s[:n]
 	}
-	m.level[0] = grow(m.level[0], n)
-	for i, s := range segs {
-		m.level[0][i] = s.avail
-	}
-	for k := 1; k < levels; k++ {
+	for k := 0; k < levels; k++ {
 		width := 1 << k
 		rows := n - width + 1
-		m.level[k] = grow(m.level[k], rows)
-		prev := m.level[k-1]
-		for i := 0; i < rows; i++ {
-			a, b := prev[i], prev[i+width/2]
-			if b < a {
-				a = b
-			}
-			m.level[k][i] = a
+		start := from - width + 1
+		if start < 0 {
+			start = 0
 		}
+		if start > m.built[k] {
+			start = m.built[k]
+		}
+		if start > rows {
+			start = rows
+		}
+		m.level[k] = grow(m.level[k], rows)
+		if k == 0 {
+			for i := start; i < rows; i++ {
+				m.level[0][i] = segs[i].avail
+			}
+		} else {
+			prev, half := m.level[k-1], width/2
+			for i := start; i < rows; i++ {
+				a, b := prev[i], prev[i+half]
+				if b < a {
+					a = b
+				}
+				m.level[k][i] = a
+			}
+		}
+		m.built[k] = rows
 	}
 }
 
@@ -215,19 +278,31 @@ func (c *Capacity) Release(amount int64, iv simtime.Interval) {
 }
 
 // adjust adds delta to the available amount over iv, splitting segments at
-// the interval boundaries as needed.
+// the interval boundaries as needed. The whole operation is local to the
+// segments the interval touches: only [lo, hi) is modified, and only the
+// two edges of that range can newly merge with an outside neighbor
+// (interior neighbors moved by the same delta, so an already-coalesced
+// profile stays coalesced there). Nothing below lo changes, which is what
+// lets the index rebuild skip the unchanged prefix.
 func (c *Capacity) adjust(delta int64, iv simtime.Interval) {
 	c.splitAt(iv.Start)
+	lo := c.segIndex(iv.Start) // first adjusted segment, starts exactly at iv.Start
+	hi := len(c.segs)          // one past the last adjusted segment
 	if iv.End != simtime.Forever {
-		c.splitAt(iv.End)
+		c.splitAt(iv.End) // inserts strictly after lo, so lo stays valid
+		hi = c.segIndex(iv.End)
 	}
-	for k := range c.segs {
-		if c.segs[k].start >= iv.Start && (iv.End == simtime.Forever || c.segs[k].start < iv.End) {
-			c.segs[k].avail += delta
-		}
+	for k := lo; k < hi; k++ {
+		c.segs[k].avail += delta
 	}
-	c.coalesce()
-	c.dirty.Store(true)
+	// Edge coalescing, right edge first so removing at lo cannot shift hi.
+	if hi < len(c.segs) && c.segs[hi].avail == c.segs[hi-1].avail {
+		c.segs = append(c.segs[:hi], c.segs[hi+1:]...)
+	}
+	if lo > 0 && c.segs[lo].avail == c.segs[lo-1].avail {
+		c.segs = append(c.segs[:lo], c.segs[lo+1:]...)
+	}
+	c.markDirty(lo)
 }
 
 // splitAt ensures a segment boundary exists exactly at t.
@@ -239,18 +314,6 @@ func (c *Capacity) splitAt(t simtime.Instant) {
 	c.segs = append(c.segs, capSegment{})
 	copy(c.segs[i+2:], c.segs[i+1:])
 	c.segs[i+1] = capSegment{start: t, avail: c.segs[i].avail}
-}
-
-// coalesce merges adjacent segments with equal availability.
-func (c *Capacity) coalesce() {
-	out := c.segs[:1]
-	for _, s := range c.segs[1:] {
-		if s.avail == out[len(out)-1].avail {
-			continue
-		}
-		out = append(out, s)
-	}
-	c.segs = out
 }
 
 // segIndex returns the index of the segment in effect at t.

@@ -45,6 +45,65 @@ func benchSub(i int) Submission {
 	}
 }
 
+// BenchmarkServeSoak measures the admission service under a growing world:
+// one timed iteration is a complete soak of soakLen submissions, each
+// flushed as its own admission epoch on the virtual clock, so the
+// committed schedule accumulates within the iteration exactly as it does
+// in a long-running daemon. The soak length is fixed — per-epoch cost that
+// grows with history shows up as a larger per-soak total, not as an
+// unbounded run — and the fullreplay sub-benchmark pins the old
+// rebuild-per-epoch cost (O(soakLen²) transfer replays per soak) as the
+// baseline the incremental engine (O(soakLen) total) is judged against.
+// Diagnosis is off so the replanning path is what's timed.
+func BenchmarkServeSoak(b *testing.B) {
+	const soakLen = 512
+	mkSoak := func(full bool) *Engine {
+		bd := testnet.NewBuilder()
+		ms := bd.Machines(6, 16<<30)
+		for i := 0; i < 5; i++ {
+			bd.Link(ms[i], ms[i+1], 0, 24*time.Hour, 8<<20)
+			bd.Link(ms[i+1], ms[i], 0, 24*time.Hour, 8<<20)
+		}
+		sc := bd.Build("soak")
+		eng, err := New(sc, Options{
+			Config:          cfgC4(nil),
+			VirtualClock:    true,
+			MaxBatch:        1 << 20, // flush only on Advance
+			QueueCap:        1 << 20,
+			SkipDiagnosis:   true,
+			ForceFullReplay: full,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return eng
+	}
+	for _, mode := range []struct {
+		name string
+		full bool
+	}{
+		{"incremental", false},
+		{"fullreplay", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng := mkSoak(mode.full)
+				b.StartTimer()
+				for j := 0; j < soakLen; j++ {
+					if _, err := eng.Submit(benchSub(j)); err != nil {
+						b.Fatal(err)
+					}
+					if err := eng.Advance(simtime.At(time.Duration(j+1) * 100 * time.Millisecond)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkServeAdmission measures one admission epoch of 32 submissions:
 // intake (serial or from 8 goroutines) plus the epoch replan that decides
 // them. The engine is rebuilt per iteration so the committed history —

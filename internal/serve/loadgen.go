@@ -61,6 +61,46 @@ type LoadReport struct {
 	Elapsed    time.Duration
 	// Latencies of every decided submission (submit → verdict), sorted.
 	Latencies []time.Duration
+	// Ordered holds the same latencies in completion order. Windowed means
+	// over it are the soak check: per-epoch admission cost that grows with
+	// the committed history shows up as a rising tail of windows, while the
+	// incremental engine should hold them flat.
+	Ordered []time.Duration
+}
+
+// WindowMeans splits the completion-ordered latencies into k contiguous
+// windows and returns each window's mean. Fewer than k samples yield one
+// window per sample.
+func (r *LoadReport) WindowMeans(k int) []time.Duration {
+	n := len(r.Ordered)
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]time.Duration, 0, k)
+	for w := 0; w < k; w++ {
+		lo, hi := w*n/k, (w+1)*n/k
+		var sum time.Duration
+		for _, d := range r.Ordered[lo:hi] {
+			sum += d
+		}
+		out = append(out, sum/time.Duration(hi-lo))
+	}
+	return out
+}
+
+// Slope is the ratio of the last window's mean latency to the first's over
+// k completion-order windows: ~1 when per-epoch admission cost is flat,
+// rising when it scales with the committed schedule. It is the quantity
+// the soak smoke test gates on.
+func (r *LoadReport) Slope(k int) float64 {
+	means := r.WindowMeans(k)
+	if len(means) < 2 || means[0] <= 0 {
+		return 1
+	}
+	return float64(means[len(means)-1]) / float64(means[0])
 }
 
 // Percentile returns the p-th (0–100) latency percentile.
@@ -205,17 +245,22 @@ func RunLoad(ctx context.Context, c *Client, p LoadParams) (*LoadReport, error) 
 					}
 					break
 				}
+				lat := time.Since(start)
 				mu.Lock()
+				decided := true
 				switch view.Status {
 				case StatusAdmitted:
 					rep.Admitted++
-					rep.Latencies = append(rep.Latencies, time.Since(start))
 				case StatusRejected:
 					rep.Rejected++
-					rep.Latencies = append(rep.Latencies, time.Since(start))
 				case StatusPreempted:
 					rep.Preempted++
-					rep.Latencies = append(rep.Latencies, time.Since(start))
+				default:
+					decided = false
+				}
+				if decided {
+					rep.Latencies = append(rep.Latencies, lat)
+					rep.Ordered = append(rep.Ordered, lat)
 				}
 				mu.Unlock()
 			}

@@ -36,6 +36,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -86,6 +87,15 @@ type Options struct {
 	// transfers of strictly lower-priority items when that strictly
 	// increases the weighted objective.
 	Preemption bool
+	// SkipDiagnosis leaves fresh rejections without an explain blame.
+	// Diagnosis walks the whole committed schedule per rejection, which
+	// dominates epoch cost in long reject-heavy soaks; soak drivers that
+	// only care about admission latency turn it off.
+	SkipDiagnosis bool
+	// ForceFullReplay pins every admission epoch to the full-replay
+	// rebuild path (the incremental engine's correctness oracle). Used by
+	// benchmarks and soak baselines; production keeps it off.
+	ForceFullReplay bool
 	// Intro, when non-nil, receives the live epoch phase for /runinfo.
 	Intro *introspect.Server
 }
@@ -162,6 +172,8 @@ type Engine struct {
 	start time.Time
 
 	mAdmitted, mRejected, mPreempted, mBackpressure, mEpochs *obs.Counter
+	mEpochsFull, mEpochsIncremental                          *obs.Counter
+	mReplayTransfers, mDeltaItems                            *obs.Counter
 	gQueue                                                   *obs.Gauge
 	hBatch                                                   *obs.Histogram
 	epochTimer                                               *obs.PhaseTimer
@@ -171,6 +183,7 @@ type Engine struct {
 	sc        scenario.Scenario // private copy; Items grows as submissions are admitted
 	queue     []*Ticket
 	flushed   []*Ticket // tickets whose epoch has run, in admission order
+	unsettled []*Ticket // flushed tickets with an unsatisfied request (late-admission candidates)
 	tickets   map[string]*Ticket
 	preempted map[model.RequestID]bool
 	nextID    int
@@ -214,8 +227,15 @@ func New(base *scenario.Scenario, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e.dyn = dyn
+	if opts.ForceFullReplay {
+		dyn.SetFullReplay(true)
+	}
 
 	e.mAdmitted = e.o.Counter("serve.admitted_total")
+	e.mEpochsFull = e.o.Counter("serve.epochs_full_total")
+	e.mEpochsIncremental = e.o.Counter("serve.epochs_incremental_total")
+	e.mReplayTransfers = e.o.Counter("serve.epoch_replay_transfers")
+	e.mDeltaItems = e.o.Counter("serve.epoch_delta_items")
 	e.mRejected = e.o.Counter("serve.rejected_total")
 	e.mPreempted = e.o.Counter("serve.preempted_total")
 	e.mBackpressure = e.o.Counter("serve.rejected_backpressure_total")
@@ -449,9 +469,16 @@ func (e *Engine) flushLocked(at simtime.Instant) {
 		t.epoch = at
 		e.sc.Items = append(e.sc.Items, t.sub.item(id))
 	}
-	e.dyn.SetScenario(&e.sc)
+	// The engine holds &e.sc, so this is the trusted same-pointer path;
+	// an error can only mean the append-only contract broke, which wedges
+	// the engine like any other internal failure.
+	if err := e.dyn.SetScenario(&e.sc); err != nil {
+		e.failLocked(err, batch)
+		span.Stop()
+		return
+	}
 
-	if _, err := e.dyn.ReplanAt(at); err != nil {
+	if err := e.replanLocked(at); err != nil {
 		e.failLocked(err, batch)
 		span.Stop()
 		return
@@ -473,6 +500,31 @@ func (e *Engine) flushLocked(at simtime.Instant) {
 	}
 	span.Stop()
 	e.intro.SetPhase("idle")
+}
+
+// replanLocked runs one engine replan at instant at and records which
+// path it took: per-path epoch counters, cumulative replayed-transfer and
+// delta-item counts, and the live /runinfo stats.
+func (e *Engine) replanLocked(at simtime.Instant) error {
+	if _, err := e.dyn.ReplanAt(at); err != nil {
+		return err
+	}
+	es := e.dyn.LastEpoch()
+	path := "incremental"
+	if es.Full {
+		path = "full"
+		e.mEpochsFull.Inc()
+		e.mReplayTransfers.Add(int64(es.ReplayedTransfers))
+	} else {
+		e.mEpochsIncremental.Inc()
+	}
+	if es.DeltaItems > 0 {
+		e.mDeltaItems.Add(int64(es.DeltaItems))
+	}
+	e.intro.SetStat("epoch_path", path)
+	e.intro.SetStat("epoch_replay_transfers", strconv.Itoa(es.ReplayedTransfers))
+	e.intro.SetStat("epoch_delta_items", strconv.Itoa(es.DeltaItems))
+	return nil
 }
 
 // failLocked wedges the engine after a replan failure: the batch (and any
@@ -529,7 +581,7 @@ func (e *Engine) preemptLocked(at simtime.Instant, batch []*Ticket) {
 	if dropped == 0 {
 		return
 	}
-	if _, err := e.dyn.ReplanAt(at); err != nil {
+	if err := e.replanLocked(at); err != nil {
 		e.failLocked(err, batch)
 		return
 	}
@@ -544,7 +596,7 @@ func (e *Engine) preemptLocked(at simtime.Instant, batch []*Ticket) {
 		return
 	}
 	e.dyn.Rollback(cp)
-	if _, err := e.dyn.ReplanAt(at); err != nil {
+	if err := e.replanLocked(at); err != nil {
 		e.failLocked(err, batch)
 	}
 }
@@ -567,24 +619,65 @@ func (e *Engine) weightedValueLocked() float64 {
 	return sum
 }
 
-// settleLocked refreshes every flushed ticket's verdicts against the
-// current satisfaction map. New tickets (the batch) get full verdicts with
-// an explain diagnosis on rejection; older tickets only transition status
-// (late admission, preemption) without re-diagnosing.
+// settleLocked refreshes ticket verdicts against the current satisfaction
+// map. New tickets (the batch) get full verdicts with an explain diagnosis
+// on rejection; older tickets only transition status (late admission,
+// preemption) without re-diagnosing.
+//
+// The old-ticket pass is incremental: committed transfers survive an
+// incremental epoch, so a fully-admitted ticket's verdicts cannot change
+// without a history rewrite — only tickets with an unsatisfied request
+// (the unsettled list) can late-admit and need re-examining. Full-replay
+// epochs rewrote the past (preemption, rollback), so every flushed ticket
+// is re-settled and the unsettled list is rebuilt from scratch.
 func (e *Engine) settleLocked(batch []*Ticket) {
-	inBatch := make(map[*Ticket]bool, len(batch))
-	for _, t := range batch {
-		inBatch[t] = true
-	}
 	sat := e.dyn.Satisfied()
 	st := e.dyn.State()
 
-	for _, t := range e.flushed {
-		e.settleTicketLocked(t, sat, st, false)
+	if e.dyn.LastEpoch().Full {
+		for _, t := range e.flushed {
+			e.settleTicketLocked(t, sat, st, false)
+		}
+		e.unsettled = e.unsettled[:0]
+		for _, t := range e.flushed {
+			if !e.settledForGoodLocked(t) {
+				e.unsettled = append(e.unsettled, t)
+			}
+		}
+	} else {
+		keep := e.unsettled[:0]
+		for _, t := range e.unsettled {
+			e.settleTicketLocked(t, sat, st, false)
+			if !e.settledForGoodLocked(t) {
+				keep = append(keep, t)
+			}
+		}
+		e.unsettled = keep
 	}
 	for _, t := range batch {
 		e.settleTicketLocked(t, sat, st, true)
+		if !e.settledForGoodLocked(t) {
+			e.unsettled = append(e.unsettled, t)
+		}
 	}
+}
+
+// settledForGoodLocked reports whether no later epoch can change the
+// ticket's verdicts without a history rewrite: either every request is
+// admitted, or the planner has permanently retired the item (its remaining
+// requests are unsatisfiable at every future floor). Either way the ticket
+// leaves the unsettled list, which is what keeps the per-epoch settle cost
+// proportional to the late-admission candidates instead of the run length.
+func (e *Engine) settledForGoodLocked(t *Ticket) bool {
+	if e.dyn.ItemRetired(t.item) {
+		return true
+	}
+	for i := range t.verdicts {
+		if t.verdicts[i].Status != StatusAdmitted {
+			return false
+		}
+	}
+	return true
 }
 
 func (e *Engine) settleTicketLocked(t *Ticket, sat map[model.RequestID]simtime.Instant,
@@ -653,7 +746,13 @@ func (e *Engine) settleTicketLocked(t *Ticket, sat map[model.RequestID]simtime.I
 
 // diagnoseLocked fills a fresh rejection's blame via explain: the verdict
 // class and, for contention, the most-obstructed link of the ideal path.
+// With SkipDiagnosis the rejection is left unexplained (diagnosis walks
+// the whole committed schedule, which dominates reject-heavy soaks).
 func (e *Engine) diagnoseLocked(v *RequestVerdict) {
+	if e.opts.SkipDiagnosis {
+		v.Reason = "rejected (diagnosis disabled)"
+		return
+	}
 	rep, err := explain.Diagnose(&e.sc, e.dyn.Transfers(), v.Request)
 	if err != nil {
 		v.Reason = "undiagnosed: " + err.Error()

@@ -61,6 +61,10 @@ type State struct {
 	destOf []map[model.MachineID]bool
 
 	transfers []Transfer
+	// trOf[i] indexes transfers by item: the positions of item i's
+	// transfers in commit order, so TransfersFor is O(route length) instead
+	// of a scan over the whole committed history.
+	trOf      [][]int32
 	satisfied map[model.RequestID]simtime.Instant
 
 	// floor is the earliest instant new transfers may start; the dynamic
@@ -104,6 +108,7 @@ func New(sc *scenario.Scenario) *State {
 		holders:   make([][]Holder, len(sc.Items)),
 		holderIdx: make([]map[model.MachineID]int, len(sc.Items)),
 		destOf:    make([]map[model.MachineID]bool, len(sc.Items)),
+		trOf:      make([][]int32, len(sc.Items)),
 		satisfied: make(map[model.RequestID]simtime.Instant),
 	}
 	windows := make([]simtime.Interval, len(sc.Network.Links))
@@ -126,22 +131,53 @@ func New(sc *scenario.Scenario) *State {
 		st.recvPort = ports[m:]
 	}
 	for i := range sc.Items {
-		it := &sc.Items[i]
-		st.holderIdx[i] = make(map[model.MachineID]int, len(it.Sources))
-		st.destOf[i] = make(map[model.MachineID]bool, len(it.Requests))
-		for _, rq := range it.Requests {
-			st.destOf[i][rq.Machine] = true
-		}
-		for _, src := range it.Sources {
-			st.addHolder(model.ItemID(i), Holder{
-				Machine: src.Machine,
-				Avail:   src.Available,
-				End:     simtime.Forever,
-			})
-		}
+		st.initItem(i)
 	}
 	st.buildPhysOut()
 	return st
+}
+
+// initItem sets up the per-item bookkeeping (holder index, destination set,
+// initial source copies) for item i of the scenario.
+func (st *State) initItem(i int) {
+	it := &st.sc.Items[i]
+	st.holderIdx[i] = make(map[model.MachineID]int, len(it.Sources))
+	st.destOf[i] = make(map[model.MachineID]bool, len(it.Requests))
+	for _, rq := range it.Requests {
+		st.destOf[i][rq.Machine] = true
+	}
+	for _, src := range it.Sources {
+		st.addHolder(model.ItemID(i), Holder{
+			Machine: src.Machine,
+			Avail:   src.Available,
+			End:     simtime.Forever,
+		})
+	}
+}
+
+// NumTrackedItems returns how many scenario items the state currently keeps
+// books for. It can lag len(Scenario().Items) when the scenario has grown
+// (the online service appends admitted items); GrowItems catches up.
+func (st *State) NumTrackedItems() int { return len(st.holders) }
+
+// GrowItems extends the per-item bookkeeping to cover items appended to the
+// scenario since the state was built (or last grown): new items gain their
+// destination sets and initial source copies, exactly as New would have
+// created them. Existing bookkeeping is untouched, so a live state can
+// follow an append-only growing scenario without a rebuild. Returns the
+// number of items added.
+func (st *State) GrowItems() int {
+	n := len(st.sc.Items)
+	added := 0
+	for i := len(st.holders); i < n; i++ {
+		st.holders = append(st.holders, nil)
+		st.holderIdx = append(st.holderIdx, nil)
+		st.destOf = append(st.destOf, nil)
+		st.trOf = append(st.trOf, nil)
+		st.initItem(i)
+		added++
+	}
+	return added
 }
 
 func (st *State) buildPhysOut() {
@@ -172,6 +208,14 @@ func (st *State) buildPhysOut() {
 
 // Scenario returns the immutable problem instance.
 func (st *State) Scenario() *scenario.Scenario { return st.sc }
+
+// AdoptScenario switches the state to a new scenario value that extends the
+// current one append-only: identical network, existing items unchanged, new
+// items only appended (callers — dynamic.Engine.SetScenario — validate
+// this). Existing bookkeeping stays valid because it is keyed by item and
+// machine IDs, which the extension preserves; the appended items become
+// tracked on the next GrowItems.
+func (st *State) AdoptScenario(sc *scenario.Scenario) { st.sc = sc }
 
 // LinkTimeline returns the occupancy timeline of one virtual link. Callers
 // must not commit to it directly; use Commit.
@@ -375,6 +419,7 @@ func (st *State) Commit(item model.ItemID, link model.LinkID, start simtime.Inst
 		Item: item, Link: link, From: l.From, To: l.To,
 		Start: start, Duration: d, Arrival: arrival,
 	}
+	st.trOf[item] = append(st.trOf[item], int32(len(st.transfers)))
 	st.transfers = append(st.transfers, tr)
 
 	for k, rq := range it.Requests {
@@ -437,14 +482,17 @@ func (st *State) Transfers() []Transfer { return st.transfers }
 
 // TransfersFor returns the committed transfers of one item in commit order —
 // the item's staging route through the network. The admission service
-// reports this as an admitted request's committed route. The returned slice
-// is freshly allocated.
+// reports this as an admitted request's committed route. Served from the
+// per-item index, so the cost is the route length, not the history length.
+// The returned slice is freshly allocated.
 func (st *State) TransfersFor(item model.ItemID) []Transfer {
-	var out []Transfer
-	for _, tr := range st.transfers {
-		if tr.Item == item {
-			out = append(out, tr)
-		}
+	idx := st.trOf[item]
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]Transfer, len(idx))
+	for k, i := range idx {
+		out[k] = st.transfers[i]
 	}
 	return out
 }

@@ -25,7 +25,7 @@ set -eu
 out=${1:-BENCH_core.json}
 benchtime=${BENCHTIME:-1s}
 bench=${BENCH:-.}
-pkgs="./internal/core/ ./internal/dijkstra/ ./internal/simtime/ ./internal/resource/ ./internal/serve/"
+pkgs="./internal/core/ ./internal/dijkstra/ ./internal/simtime/ ./internal/resource/ ./internal/serve/ ./internal/dynamic/"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
