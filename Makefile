@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json bench-smoke serve-smoke soak-smoke trace-check cover cover-check fuzz study examples clean
+.PHONY: all build vet test test-short race bench bench-json bench-smoke serve-smoke soak-smoke saturation-smoke trace-check cover cover-check fuzz study examples clean
 
 all: build vet test
 
@@ -52,6 +52,12 @@ serve-smoke:
 soak-smoke:
 	sh scripts/soak_smoke.sh
 
+# A tiny three-point saturation sweep with the deterministic fake clock:
+# asserts the admission rate is monotone non-increasing across loads and
+# leaves the JSON artifact for CI to upload.
+saturation-smoke:
+	sh scripts/saturation_smoke.sh
+
 # Export a Perfetto trace from a paper-scale run and validate its
 # structure: well-formed JSON, non-empty, monotone timestamps per track,
 # and non-overlapping transfer spans per link.
@@ -77,6 +83,7 @@ fuzz:
 	$(GO) test ./internal/simtime/ -run='^$$' -fuzz=FuzzKernelEquivalence -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/resource/ -run='^$$' -fuzz=FuzzKernelEquivalence -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/dynamic/ -run='^$$' -fuzz=FuzzEngineIncrementalEquivalence -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/workload/ -run='^$$' -fuzz=FuzzTraceRoundTrip -fuzztime=$(FUZZTIME)
 
 # Reproduce the paper's full simulation study (40 cases, both weightings,
 # all extension sweeps). Takes a few minutes on one core.

@@ -10,6 +10,7 @@
 //	          [-slack-min DUR] [-slack-max DUR] [-max-priority 2]
 //	          [-backoff DUR] [-timeout DUR] [-min-admitted N]
 //	          [-windows K] [-max-slope X]
+//	          [-trace FILE]
 //
 // Each worker keeps one submission in flight (POST /v1/requests?wait=1),
 // backing off and retrying on 429. -min-admitted makes the run a check:
@@ -22,6 +23,12 @@
 // than the ratio X. A growing slope means per-epoch admission cost scales
 // with the committed history — the regression the incremental engine
 // exists to prevent.
+//
+// Trace mode: -trace FILE replays a canonical .trace.json (see
+// internal/workload) instead of generating a synthetic stream. The target
+// must run with -virtual-clock; the driver advances the clock to each
+// arrival instant so the service decides exactly the offline engine's
+// admission epochs.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	"datastaging/internal/serve"
+	"datastaging/internal/workload"
 )
 
 func main() {
@@ -64,6 +72,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"split latencies into this many completion-order windows and report their means (soak mode)")
 	maxSlope := fs.Float64("max-slope", 0,
 		"fail when last-window mean latency exceeds first-window mean by this ratio (requires -windows)")
+	tracePath := fs.String("trace", "",
+		"replay this canonical .trace.json instead of generating a synthetic stream (target needs -virtual-clock)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,6 +83,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	ctx, cancel := context.WithTimeout(ctx, *timeout)
 	defer cancel()
+	if *tracePath != "" {
+		tr, err := workload.ReadTraceFile(*tracePath)
+		if err != nil {
+			return err
+		}
+		rep, err := serve.ReplayTrace(ctx, &serve.Client{BaseURL: *url}, tr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace      %s (%d arrivals, %d requests)\n",
+			tr.Name, len(tr.Arrivals), workload.NumRequests(tr.Arrivals))
+		rep.Write(out)
+		if rep.Admitted < *minAdmitted {
+			return fmt.Errorf("admitted %d submissions, need at least %d", rep.Admitted, *minAdmitted)
+		}
+		return nil
+	}
 	p := serve.DefaultLoadParams(*seed, *n)
 	p.Workers = *workers
 	p.SizeMin, p.SizeMax = *sizeMin, *sizeMax

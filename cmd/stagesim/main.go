@@ -32,6 +32,7 @@ import (
 	"datastaging/internal/obs/chrometrace"
 	"datastaging/internal/obs/introspect"
 	"datastaging/internal/report"
+	"datastaging/internal/workload"
 )
 
 func main() {
@@ -46,6 +47,17 @@ type options struct {
 	seed           int64
 	weights        string
 	figures        string
+	netPath        string
+	emitTrace      string
+	replay         string
+	replayOut      string
+	saturation     bool
+	satSpec        string
+	satLoads       string
+	satCases       int
+	satOut         string
+	satGate        bool
+	satFakeClock   bool
 	extras         bool
 	baseline       bool
 	congestion     bool
@@ -88,6 +100,17 @@ func run(args []string, out io.Writer) error {
 	fs.BoolVar(&o.serial, "serial", false, "run the §3 parallel-vs-serial-transfer comparison")
 	fs.BoolVar(&o.extensions, "extensions", false, "include the C5 extension criterion in the study")
 	fs.BoolVar(&o.arrivals, "arrivals", false, "run the online-arrival (ad-hoc request) sweep")
+	fs.StringVar(&o.netPath, "net", "", "base-network scenario JSON for the workload modes (items stripped; default: generate from -seed)")
+	fs.StringVar(&o.emitTrace, "emit-trace", "", "compile -sat-spec against the base network into a canonical .trace.json at this path, then exit")
+	fs.StringVar(&o.replay, "replay", "", "replay a .trace.json through the offline engine over the base network, print the outcome, then exit")
+	fs.StringVar(&o.replayOut, "replay-out", "", "with -replay: also write the committed transfers and objective as JSON (for bit-identical cross-path comparison)")
+	fs.BoolVar(&o.saturation, "saturation", false, "sweep offered load over -sat-spec, find the admission knee, and print the saturation report")
+	fs.StringVar(&o.satSpec, "sat-spec", "burst", "built-in workload spec for -saturation/-emit-trace: "+strings.Join(workload.BuiltinNames(), ", "))
+	fs.StringVar(&o.satLoads, "sat-loads", "0.5,1,2,4,8", "comma-separated offered-load multipliers for the saturation sweep")
+	fs.IntVar(&o.satCases, "sat-cases", 0, "aggregate the saturation sweep over this many generated networks (0 = single base network)")
+	fs.StringVar(&o.satOut, "sat-out", "", "write the saturation JSON artifact to this file")
+	fs.BoolVar(&o.satGate, "sat-gate", false, "fail unless the admission rate is monotone non-increasing across loads (±0.05)")
+	fs.BoolVar(&o.satFakeClock, "sat-fake-clock", false, "measure decision latency with a deterministic virtual clock so the report and artifact are byte-stable")
 	fs.StringVar(&o.csvDir, "csv", "", "directory to write CSV files into")
 	fs.IntVar(&o.height, "height", 16, "chart height in rows")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress progress output")
@@ -139,6 +162,10 @@ func run(args []string, out io.Writer) error {
 	schemes, err := weightSchemes(o.weights)
 	if err != nil {
 		return err
+	}
+	if o.emitTrace != "" || o.replay != "" || o.saturation {
+		// The workload modes stand alone; the study does not run.
+		return runWorkloadModes(out, o, schemes[0].weights)
 	}
 	o.intro.SetRunInfo(introspect.RunInfo{
 		Scenario:  fmt.Sprintf("study: %d cases from seed %d", o.cases, o.seed),

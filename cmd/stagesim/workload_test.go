@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"datastaging/internal/dynamic"
+	"datastaging/internal/gen"
+	"datastaging/internal/model"
+	"datastaging/internal/serve"
+	"datastaging/internal/workload"
+)
+
+// TestTraceReplayCrossPath is the PR's acceptance contract: one canonical
+// trace replays bit-identically — transfers and weighted objective —
+// across the stagesim CLI (plan parallelism 1 and 4), dynamic.Simulate
+// called directly, and the serve HTTP path.
+func TestTraceReplayCrossPath(t *testing.T) {
+	dir := t.TempDir()
+	trPath := filepath.Join(dir, "burst.trace.json")
+	var out bytes.Buffer
+	if err := run([]string{"-emit-trace", trPath, "-sat-spec", "burst"}, &out); err != nil {
+		t.Fatalf("emit-trace: %v", err)
+	}
+
+	// CLI replay under plan parallelism 1 and 4: artifacts must be
+	// byte-identical.
+	r1 := filepath.Join(dir, "r1.json")
+	r4 := filepath.Join(dir, "r4.json")
+	if err := run([]string{"-replay", trPath, "-plan-parallel", "1", "-replay-out", r1}, &out); err != nil {
+		t.Fatalf("replay p1: %v", err)
+	}
+	if err := run([]string{"-replay", trPath, "-plan-parallel", "4", "-replay-out", r4}, &out); err != nil {
+		t.Fatalf("replay p4: %v", err)
+	}
+	b1, err := os.ReadFile(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := os.ReadFile(r4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b4) {
+		t.Fatal("replay artifacts differ across plan parallelism")
+	}
+	var cli replayOutcome
+	if err := json.Unmarshal(b1, &cli); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same trace through dynamic.Simulate directly.
+	tr, err := workload.ReadTraceFile(trPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := gen.NetworkOnly(gen.Default(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, events, err := tr.Materialize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workloadConfig(options{}, model.Weights1x10x100)
+	want, err := dynamic.Simulate(sc, cfg, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantValue float64
+	for id := range want.Satisfied {
+		wantValue += cfg.Weights.Of(sc.Request(id).Priority)
+	}
+	if cli.WeightedValue != wantValue {
+		t.Errorf("weighted value %v from CLI, %v from Simulate", cli.WeightedValue, wantValue)
+	}
+	if len(cli.Transfers) != len(want.Transfers) {
+		t.Fatalf("transfers %d from CLI, %d from Simulate", len(cli.Transfers), len(want.Transfers))
+	}
+	for i := range want.Transfers {
+		if cli.Transfers[i] != want.Transfers[i] {
+			t.Fatalf("transfer %d: %+v from CLI, %+v from Simulate", i, cli.Transfers[i], want.Transfers[i])
+		}
+	}
+
+	// The same trace through the serve HTTP path.
+	empty := *base
+	eng, err := serve.New(&empty, serve.Options{
+		Config:       cfg,
+		VirtualClock: true,
+		MaxBatch:     len(tr.Arrivals) + 1,
+		QueueCap:     len(tr.Arrivals) + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(eng.Handler())
+	defer srv.Close()
+	c := &serve.Client{BaseURL: srv.URL}
+	if _, err := serve.ReplayTrace(context.Background(), c, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Schedule(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WeightedValue != cli.WeightedValue {
+		t.Errorf("weighted value %v over HTTP, %v from CLI", got.WeightedValue, cli.WeightedValue)
+	}
+	if len(got.Transfers) != len(cli.Transfers) {
+		t.Fatalf("transfers %d over HTTP, %d from CLI", len(got.Transfers), len(cli.Transfers))
+	}
+	for i := range cli.Transfers {
+		if got.Transfers[i] != cli.Transfers[i] {
+			t.Fatalf("transfer %d: %+v over HTTP, %+v from CLI", i, got.Transfers[i], cli.Transfers[i])
+		}
+	}
+}
+
+// TestSaturationCLI drives -saturation end to end: the artifact is
+// byte-stable under the fake clock, the table renders, and the monotone
+// gate holds.
+func TestSaturationCLI(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(outPath string) string {
+		var out bytes.Buffer
+		err := run([]string{
+			"-saturation", "-sat-spec", "burst", "-sat-loads", "0.5,1",
+			"-sat-fake-clock", "-sat-gate", "-sat-out", outPath, "-quiet",
+		}, &out)
+		if err != nil {
+			t.Fatalf("saturation: %v\n%s", err, out.String())
+		}
+		return out.String()
+	}
+	text := runOnce(filepath.Join(dir, "a.json"))
+	runOnce(filepath.Join(dir, "b.json"))
+	a, err := os.ReadFile(filepath.Join(dir, "a.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "b.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("saturation artifact not byte-stable under -sat-fake-clock")
+	}
+	for _, want := range []string{"adm rate", "efficiency", "p99 decide", "knee", "gate: admission rate monotone"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("saturation output missing %q:\n%s", want, text)
+		}
+	}
+	var res workload.SaturationResult
+	if err := json.Unmarshal(a, &res); err != nil {
+		t.Fatalf("artifact is not a SaturationResult: %v", err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("artifact has %d points, want 2", len(res.Points))
+	}
+}
+
+func TestParseLoads(t *testing.T) {
+	if loads, err := parseLoads("0.5, 1,2"); err != nil || len(loads) != 3 {
+		t.Fatalf("parseLoads: %v %v", loads, err)
+	}
+	for _, bad := range []string{"", "x", "2,1", "1,,x"} {
+		if _, err := parseLoads(bad); err == nil {
+			t.Errorf("parseLoads(%q) accepted", bad)
+		}
+	}
+}
+
+func TestWorkloadModeErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-saturation", "-sat-spec", "nope"}, &out); err == nil {
+		t.Error("unknown -sat-spec accepted")
+	}
+	if err := run([]string{"-replay", filepath.Join(t.TempDir(), "missing.trace.json")}, &out); err == nil {
+		t.Error("missing -replay file accepted")
+	}
+	if err := run([]string{"-saturation", "-sat-loads", "4,2,1"}, &out); err == nil {
+		t.Error("descending -sat-loads accepted")
+	}
+}

@@ -16,6 +16,12 @@
 //	         [-max-batch N] [-max-wait DUR] [-queue-cap N]
 //	         [-virtual-clock] [-time-scale X] [-preempt]
 //	         [-no-diagnose] [-force-full-replay] [-drain-timeout DUR]
+//	         [-replay-trace FILE]
+//
+// Replay mode: -replay-trace FILE (requires -virtual-clock) starts the
+// service, replays the canonical trace against its own HTTP endpoint —
+// batching knobs are auto-raised so no arrival batch splits across
+// admission epochs — prints the load report and final schedule, and exits.
 //
 // API (all JSON):
 //
@@ -50,6 +56,7 @@ import (
 	"datastaging/internal/obs"
 	"datastaging/internal/obs/introspect"
 	"datastaging/internal/serve"
+	"datastaging/internal/workload"
 )
 
 func main() {
@@ -91,8 +98,32 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	forceFullReplay := fs.Bool("force-full-replay", false,
 		"rebuild the world from history every epoch instead of replanning incrementally (baseline mode)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
+	replayTrace := fs.String("replay-trace", "",
+		"replay this canonical .trace.json against the service's own endpoint, print the outcome, and exit (requires -virtual-clock)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var tr *workload.Trace
+	if *replayTrace != "" {
+		if !*virtual {
+			return fmt.Errorf("-replay-trace needs -virtual-clock: trace replay is defined over the virtual timeline")
+		}
+		var err error
+		if tr, err = workload.ReadTraceFile(*replayTrace); err != nil {
+			return err
+		}
+		// One admission epoch per distinct arrival instant: the batch must
+		// never flush on size or wall-clock age, only on /v1/advance.
+		if n := len(tr.Arrivals) + 1; *maxBatch < n {
+			*maxBatch = n
+		}
+		if *queueCap < len(tr.Arrivals) {
+			*queueCap = len(tr.Arrivals)
+		}
+		if *maxWait < time.Hour {
+			*maxWait = time.Hour
+		}
 	}
 
 	sc, err := cliconf.LoadScenario(*inPath, *seed)
@@ -158,6 +189,28 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	srv := &http.Server{Handler: eng.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
+
+	if tr != nil {
+		rep, err := serve.ReplayTrace(ctx, &serve.Client{BaseURL: "http://" + ln.Addr().String()}, tr)
+		if err != nil {
+			return fmt.Errorf("-replay-trace: %w", err)
+		}
+		fmt.Fprintf(out, "stagesvc: replayed trace %s: %d arrivals, %d admitted, %d rejected\n",
+			tr.Name, rep.Requests, rep.Admitted, rep.Rejected)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := eng.Drain(dctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		if err := srv.Shutdown(dctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		sv := eng.Schedule()
+		fmt.Fprintf(out, "stagesvc: final schedule: %d epochs, %d/%d requests satisfied, "+
+			"%d transfers, weighted value %.1f\n",
+			sv.Epochs, sv.Satisfied, sv.TotalRequests, len(sv.Transfers), sv.WeightedValue)
+		return nil
+	}
 
 	select {
 	case err := <-errCh:

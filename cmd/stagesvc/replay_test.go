@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"datastaging/internal/workload"
+)
+
+// TestReplayTraceMode drives -replay-trace end to end: the daemon boots,
+// replays a canonical trace against its own HTTP endpoint, reports the
+// final schedule, and exits cleanly.
+func TestReplayTraceMode(t *testing.T) {
+	spec, err := workload.Builtin("steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec = spec.ScaleRate(0.25) // a couple dozen arrivals keeps the test fast
+	arrivals, err := spec.Compile(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trPath := filepath.Join(t.TempDir(), "steady.trace.json")
+	if err := workload.WriteTraceFile(trPath, workload.NewTrace(spec.Name, 10, &spec, arrivals)); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	err = run(context.Background(), []string{
+		"-addr", "127.0.0.1:0",
+		"-seed", "3",
+		"-virtual-clock",
+		"-replay-trace", trPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"replayed trace steady", "final schedule", "weighted value"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestReplayTraceNeedsVirtualClock pins the guard: trace replay is defined
+// over the virtual timeline only.
+func TestReplayTraceNeedsVirtualClock(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", "127.0.0.1:0", "-replay-trace", "whatever.trace.json",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "virtual-clock") {
+		t.Fatalf("want a virtual-clock error, got %v", err)
+	}
+}

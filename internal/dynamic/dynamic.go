@@ -179,4 +179,3 @@ func observeEpoch(o *obs.Obs, es EpochStats) {
 		tr.Emit(obs.Event{Kind: obs.EvEpochReplan, At: int64(es.At), N: es.Aborted})
 	}
 }
-

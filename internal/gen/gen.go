@@ -161,6 +161,34 @@ func Generate(p Params, seed int64) (*scenario.Scenario, error) {
 	return s, nil
 }
 
+// NetworkOnly generates just the network side of a scenario — machines,
+// links, horizon, γ — with an empty request book. For a given seed the
+// network is identical to Generate's (items are drawn after the network,
+// so dropping them does not disturb the stream). This is the base the
+// workload layer materializes arrival traces over: topology from the
+// paper's generator, traffic from a multi-phase spec.
+func NetworkOnly(p Params, seed int64) (*scenario.Scenario, error) {
+	if err := checkParams(p); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	net, err := generateNetwork(p, rng)
+	if err != nil {
+		return nil, err
+	}
+	s := &scenario.Scenario{
+		Name:            fmt.Sprintf("net-seed%d", seed),
+		Network:         net,
+		GarbageCollect:  p.GarbageCollect,
+		Horizon:         simtime.At(p.Day),
+		SerialTransfers: p.SerialTransfers,
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: generated network invalid: %w", err)
+	}
+	return s, nil
+}
+
 // MustGenerate is Generate for tests and benchmarks with known-good params.
 func MustGenerate(p Params, seed int64) *scenario.Scenario {
 	s, err := Generate(p, seed)

@@ -6,6 +6,7 @@ import (
 
 	"datastaging/internal/core"
 	"datastaging/internal/experiment"
+	"datastaging/internal/workload"
 )
 
 // flat repeats a bound across every sweep point so it renders as a
@@ -233,4 +234,56 @@ func at(vals []float64, i int) float64 {
 		return vals[i]
 	}
 	return 0
+}
+
+// SaturationRows renders a single-network saturation sweep: one row per
+// load point plus a trailing knee line. The latency columns are wall-clock
+// unless the analyzer ran with an injected deterministic clock.
+func SaturationRows(res *workload.SaturationResult) ([]string, [][]string) {
+	headers := []string{"load", "arrivals", "requests", "admitted", "adm rate",
+		"value", "upper", "efficiency", "p50 decide", "p99 decide", "epochs"}
+	var rows [][]string
+	for i, pt := range res.Points {
+		load := fmt.Sprintf("%.2g", pt.Load)
+		if i == res.KneeIndex {
+			load += " *knee*"
+		}
+		rows = append(rows, []string{
+			load,
+			fmt.Sprintf("%d", pt.Arrivals),
+			fmt.Sprintf("%d", pt.Requests),
+			fmt.Sprintf("%d", pt.Admitted),
+			fmt.Sprintf("%.3f", pt.AdmissionRate),
+			fmt.Sprintf("%.1f", pt.WeightedValue),
+			fmt.Sprintf("%.1f", pt.UpperBound),
+			fmt.Sprintf("%.3f", pt.Efficiency),
+			pt.P50.Round(time.Microsecond).String(),
+			pt.P99.Round(time.Microsecond).String(),
+			fmt.Sprintf("%d", pt.Epochs),
+		})
+	}
+	return headers, rows
+}
+
+// SaturationAggregateRows renders the cross-case saturation aggregate.
+func SaturationAggregateRows(agg *experiment.SaturationAggregate) ([]string, [][]string) {
+	headers := []string{"load", "mean offered", "adm rate", "min", "max",
+		"efficiency", "mean p99 decide"}
+	var rows [][]string
+	for i, pt := range agg.Points {
+		load := fmt.Sprintf("%.2g", pt.Load)
+		if i == agg.KneeIndex {
+			load += " *knee*"
+		}
+		rows = append(rows, []string{
+			load,
+			fmt.Sprintf("%.1f", pt.MeanOffered),
+			fmt.Sprintf("%.3f", pt.AdmissionRate.Mean),
+			fmt.Sprintf("%.3f", pt.AdmissionRate.Min),
+			fmt.Sprintf("%.3f", pt.AdmissionRate.Max),
+			fmt.Sprintf("%.3f", pt.Efficiency.Mean),
+			pt.MeanP99.Round(time.Microsecond).String(),
+		})
+	}
+	return headers, rows
 }

@@ -1,0 +1,111 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"datastaging/internal/core"
+	"datastaging/internal/experiment"
+	"datastaging/internal/gen"
+	"datastaging/internal/model"
+	"datastaging/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// counterClock makes every admission epoch last exactly 1 ms, so the
+// rendered latency columns are byte-stable.
+func counterClock() func() time.Time {
+	var ticks int64
+	return func() time.Time {
+		ticks++
+		return time.Unix(0, ticks*int64(time.Millisecond))
+	}
+}
+
+// TestSaturationTableGolden pins the rendered saturation report for a fixed
+// seed: same spec, same network, same loads must produce this exact table.
+func TestSaturationTableGolden(t *testing.T) {
+	base, err := gen.NetworkOnly(gen.Default(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := workload.Builtin("burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := workload.Saturate(workload.SaturationOptions{
+		Spec:  spec,
+		Loads: []float64{0.5, 2},
+		Base:  base,
+		Config: core.Config{
+			Heuristic: core.FullPathOneDest,
+			Criterion: core.C4,
+			EU:        core.EUFromLog10(2),
+			Weights:   model.Weights1x10x100,
+		},
+		Now: counterClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	h, rows := SaturationRows(res)
+	if err := Table(&buf, h, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "saturation.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("saturation report differs from golden %s (run with -update to regenerate)\ngot:\n%s", golden, buf.Bytes())
+	}
+}
+
+func TestSaturationAggregateRows(t *testing.T) {
+	agg := &experiment.SaturationAggregate{
+		Spec:  "burst",
+		Cases: 2,
+		Points: []experiment.SaturationAggPoint{
+			{Load: 1, MeanOffered: 70, AdmissionRate: experiment.Stat{Mean: 0.99, Min: 0.98, Max: 1},
+				Efficiency: experiment.Stat{Mean: 0.97}, MeanP99: time.Millisecond},
+			{Load: 4, MeanOffered: 290, AdmissionRate: experiment.Stat{Mean: 0.85, Min: 0.8, Max: 0.9},
+				Efficiency: experiment.Stat{Mean: 0.84}, MeanP99: 2 * time.Millisecond},
+		},
+		KneeIndex: 1,
+		KneeLoad:  4,
+	}
+	h, rows := SaturationAggregateRows(agg)
+	if len(h) != len(rows[0]) {
+		t.Fatalf("header has %d columns, rows have %d", len(h), len(rows[0]))
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	if got := rows[1][0]; got != "4 *knee*" {
+		t.Fatalf("knee row not marked: %q", got)
+	}
+	var buf bytes.Buffer
+	if err := Table(&buf, h, rows); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,8 +2,8 @@ package resource
 
 import (
 	"fmt"
-	"time"
 	"sync/atomic"
+	"time"
 
 	"datastaging/internal/simtime"
 )

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"datastaging/internal/workload"
 )
 
 // LoadParams shapes the synthetic submission stream of the load generator.
@@ -178,6 +180,119 @@ func GenSubmission(p LoadParams, info Info, i int) Submission {
 			Priority: rng.Intn(p.MaxPriority + 1),
 		}},
 	}
+}
+
+// SubmissionFromArrival converts a canonical-trace arrival into the
+// submission the admission API accepts. The conversion is lossless modulo
+// the arrival instant, which the replay driver supplies by advancing the
+// virtual clock to Arrival.At before submitting.
+func SubmissionFromArrival(a workload.Arrival) Submission {
+	sub := Submission{Name: a.Name, SizeBytes: a.SizeBytes}
+	for _, src := range a.Sources {
+		sub.Sources = append(sub.Sources, SourceSpec{
+			Machine: src.Machine, Available: Instant(src.Available),
+		})
+	}
+	for _, rq := range a.Requests {
+		sub.Requests = append(sub.Requests, RequestSpec{
+			Machine: rq.Machine, Deadline: Instant(rq.Deadline), Priority: rq.Priority,
+		})
+	}
+	return sub
+}
+
+// ReplayTrace replays a canonical trace against a stagesvc endpoint,
+// bit-identically to the offline engine: advance the virtual clock to each
+// distinct arrival instant (flushing the previous instant's batch into one
+// admission epoch), submit that instant's arrivals, and flush the final
+// batch. Requires a virtual-clock service whose max-batch and queue-cap
+// exceed the largest same-instant batch — otherwise a batch would split
+// across epochs and the replay would diverge from the offline schedule.
+// Each decided submission's latency is the wall duration of the Advance
+// call that flushed its epoch.
+func ReplayTrace(ctx context.Context, c *Client, tr *workload.Trace) (*LoadReport, error) {
+	info, err := c.Info(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("serve: cannot describe service: %w", err)
+	}
+	if !info.Virtual {
+		return nil, fmt.Errorf("serve: trace replay needs a virtual-clock service (stagesvc -virtual-clock)")
+	}
+	if info.Machines < tr.Machines {
+		return nil, fmt.Errorf("serve: trace %q wants %d machines, service has %d",
+			tr.Name, tr.Machines, info.Machines)
+	}
+	maxGroup := 0
+	for i, g := 0, 0; i < len(tr.Arrivals); i++ {
+		if i == 0 || tr.Arrivals[i-1].At != tr.Arrivals[i].At {
+			g = 0
+		}
+		g++
+		if g > maxGroup {
+			maxGroup = g
+		}
+	}
+	if info.MaxBatch <= maxGroup || info.QueueCap < maxGroup {
+		return nil, fmt.Errorf(
+			"serve: largest same-instant batch is %d submissions; raise -max-batch above it (now %d) and -queue-cap to at least it (now %d)",
+			maxGroup, info.MaxBatch, info.QueueCap)
+	}
+
+	rep := &LoadReport{Requests: len(tr.Arrivals)}
+	begin := time.Now()
+	ids := make([]string, 0, len(tr.Arrivals))
+	pending := 0
+	flush := func(to Instant) error {
+		t0 := time.Now()
+		if _, err := c.Advance(ctx, to); err != nil {
+			return fmt.Errorf("serve: advance to %v: %w", to, err)
+		}
+		d := time.Since(t0)
+		for ; pending > 0; pending-- {
+			rep.Latencies = append(rep.Latencies, d)
+			rep.Ordered = append(rep.Ordered, d)
+		}
+		return nil
+	}
+	for i := range tr.Arrivals {
+		a := &tr.Arrivals[i]
+		if i == 0 || tr.Arrivals[i-1].At != a.At {
+			if err := flush(Instant(a.At)); err != nil {
+				return nil, err
+			}
+		}
+		view, err := c.Submit(ctx, SubmissionFromArrival(*a), false)
+		if err != nil {
+			return nil, fmt.Errorf("serve: submit arrival %d: %w", i, err)
+		}
+		ids = append(ids, view.ID)
+		pending++
+	}
+	if len(tr.Arrivals) > 0 {
+		// Advancing to the current instant is a pure flush of the last batch.
+		if err := flush(Instant(tr.Arrivals[len(tr.Arrivals)-1].At)); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range ids {
+		view, err := c.Ticket(ctx, id)
+		if err != nil {
+			return nil, fmt.Errorf("serve: ticket %s: %w", id, err)
+		}
+		switch view.Status {
+		case StatusAdmitted:
+			rep.Admitted++
+		case StatusRejected:
+			rep.Rejected++
+		case StatusPreempted:
+			rep.Preempted++
+		default:
+			rep.Errors++
+		}
+	}
+	rep.Elapsed = time.Since(begin)
+	sort.Slice(rep.Latencies, func(a, b int) bool { return rep.Latencies[a] < rep.Latencies[b] })
+	return rep, nil
 }
 
 // RunLoad drives a deterministic closed-loop load against a stagesvc

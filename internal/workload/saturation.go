@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"datastaging/internal/bounds"
+	"datastaging/internal/core"
+	"datastaging/internal/dynamic"
+	"datastaging/internal/model"
+	"datastaging/internal/scenario"
+	"datastaging/internal/simtime"
+)
+
+// SaturationOptions configures one saturation sweep: the spec whose rates
+// are scaled, the load multipliers, the base network, and the heuristic
+// configuration each replay runs.
+type SaturationOptions struct {
+	// Spec is the workload shape; each load point replays Spec with every
+	// phase rate multiplied by the point's load factor.
+	Spec Spec
+	// Loads are the offered-load multipliers, in sweep order (conventionally
+	// ascending).
+	Loads []float64
+	// Base contributes the network, horizon, and γ. Its own items (if any)
+	// are scheduled too but not counted in the admission rate.
+	Base *scenario.Scenario
+	// Config is the heuristic/criterion pair each admission epoch runs;
+	// Config.Weights also defines the weighted objective.
+	Config core.Config
+	// KneeFraction locates the knee: the first load point whose admission
+	// rate falls below KneeFraction times the first point's rate (default
+	// 0.9).
+	KneeFraction float64
+	// Now is the clock used to measure decision latency (default
+	// time.Now). Tests inject a deterministic counter so the report is
+	// byte-stable.
+	Now func() time.Time
+}
+
+// SaturationPoint is one load point of the sweep.
+type SaturationPoint struct {
+	// Load is the offered-load multiplier on the spec's phase rates.
+	Load float64 `json:"load"`
+	// Arrivals and Requests count the offered work at this load.
+	Arrivals int `json:"arrivals"`
+	Requests int `json:"requests"`
+	// Admitted counts requests satisfied by the final committed schedule;
+	// AdmissionRate is Admitted / Requests.
+	Admitted      int     `json:"admitted"`
+	AdmissionRate float64 `json:"admissionRate"`
+	// WeightedValue is the objective achieved; UpperBound is the §5.2
+	// everything-ignoring-capacity bound on the same scenario, and
+	// Efficiency their ratio — how much of the theoretically available
+	// weighted value survived the contention at this load.
+	WeightedValue float64 `json:"weightedValue"`
+	UpperBound    float64 `json:"upperBound"`
+	Efficiency    float64 `json:"efficiency"`
+	// P50/P99 are decision-latency percentiles: each request's latency is
+	// the wall duration of the admission epoch that first decided it.
+	P50 time.Duration `json:"p50DecisionLatency"`
+	P99 time.Duration `json:"p99DecisionLatency"`
+	// Epochs counts admission epochs (distinct arrival instants).
+	Epochs int `json:"epochs"`
+}
+
+// SaturationResult is the sweep outcome and the JSON artifact schema.
+type SaturationResult struct {
+	Spec     string            `json:"spec"`
+	Seed     int64             `json:"seed"`
+	Machines int               `json:"machines"`
+	Scenario string            `json:"scenario"`
+	Points   []SaturationPoint `json:"points"`
+	// KneeIndex is the first load point past the admission knee, -1 when
+	// the sweep never saturates; KneeLoad is its multiplier (0 when none).
+	KneeIndex int     `json:"kneeIndex"`
+	KneeLoad  float64 `json:"kneeLoad"`
+}
+
+// WriteJSON emits the artifact: indented, deterministic field order.
+func (r *SaturationResult) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Saturate sweeps offered load over the spec and locates the admission
+// knee. Each load point compiles the rate-scaled spec (same seed — load
+// points differ only in offered traffic), materializes it over the base
+// network, and replays it epoch by epoch through the incremental engine,
+// timing every admission epoch. Scheduling results are deterministic for a
+// fixed seed; latencies are wall-clock unless Now is injected.
+func Saturate(opts SaturationOptions) (*SaturationResult, error) {
+	if opts.Base == nil || opts.Base.Network == nil {
+		return nil, fmt.Errorf("workload: saturation needs a base scenario")
+	}
+	if len(opts.Loads) == 0 {
+		return nil, fmt.Errorf("workload: saturation needs at least one load point")
+	}
+	if len(opts.Config.Weights) == 0 {
+		return nil, fmt.Errorf("workload: saturation config has no priority weights")
+	}
+	if opts.KneeFraction <= 0 || opts.KneeFraction >= 1 {
+		opts.KneeFraction = 0.9
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	machines := opts.Base.Network.NumMachines()
+	res := &SaturationResult{
+		Spec:      opts.Spec.Name,
+		Seed:      opts.Spec.Seed,
+		Machines:  machines,
+		Scenario:  opts.Base.Name,
+		KneeIndex: -1,
+	}
+	for _, load := range opts.Loads {
+		if load <= 0 {
+			return nil, fmt.Errorf("workload: non-positive load multiplier %v", load)
+		}
+		pt, err := saturatePoint(opts, load, machines, now)
+		if err != nil {
+			return nil, fmt.Errorf("workload: load %v: %w", load, err)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	if base := res.Points[0].AdmissionRate; base > 0 {
+		for i, pt := range res.Points {
+			if pt.AdmissionRate < opts.KneeFraction*base {
+				res.KneeIndex = i
+				res.KneeLoad = pt.Load
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+func saturatePoint(opts SaturationOptions, load float64, machines int, now func() time.Time) (SaturationPoint, error) {
+	arrivals, err := opts.Spec.ScaleRate(load).Compile(machines)
+	if err != nil {
+		return SaturationPoint{}, err
+	}
+	tr := NewTrace(opts.Spec.Name, machines, nil, arrivals)
+	sc, events, err := tr.Materialize(opts.Base)
+	if err != nil {
+		return SaturationPoint{}, err
+	}
+	eng, err := dynamic.NewEngine(sc, opts.Config)
+	if err != nil {
+		return SaturationPoint{}, err
+	}
+
+	// Replay exactly as dynamic.Simulate does — withhold future items,
+	// release per distinct instant — but time each admission epoch and
+	// attribute its duration to every request decided in it.
+	firstItem := len(opts.Base.Items)
+	for _, ev := range events {
+		eng.Withhold(ev.Item)
+	}
+	latencies := make([]time.Duration, 0, NumRequests(arrivals))
+	epochs := 0
+	epoch := func(at simtime.Instant, items []model.ItemID) error {
+		begin := now()
+		if _, err := eng.ReplanAt(at); err != nil {
+			return err
+		}
+		d := now().Sub(begin)
+		epochs++
+		for _, id := range items {
+			for range sc.Items[id].Requests {
+				latencies = append(latencies, d)
+			}
+		}
+		return nil
+	}
+
+	// Epoch 0 decides the base items plus any arrival at the epoch itself.
+	var batch []model.ItemID
+	for i := range tr.Arrivals {
+		if tr.Arrivals[i].At == 0 {
+			batch = append(batch, model.ItemID(firstItem+i))
+		}
+	}
+	if err := epoch(0, batch); err != nil {
+		return SaturationPoint{}, err
+	}
+	for i := 0; i < len(events); {
+		at := events[i].At
+		batch = batch[:0]
+		for ; i < len(events) && events[i].At == at; i++ {
+			eng.Release(events[i].Item)
+			batch = append(batch, events[i].Item)
+		}
+		if err := epoch(at, batch); err != nil {
+			return SaturationPoint{}, err
+		}
+	}
+
+	sat := eng.Satisfied()
+	pt := SaturationPoint{
+		Load:     load,
+		Arrivals: len(arrivals),
+		Requests: NumRequests(arrivals),
+		Epochs:   epochs,
+	}
+	var value float64
+	for id := range sat {
+		value += opts.Config.Weights.Of(sc.Request(id).Priority)
+		if int(id.Item) >= firstItem {
+			pt.Admitted++
+		}
+	}
+	if pt.Requests > 0 {
+		pt.AdmissionRate = float64(pt.Admitted) / float64(pt.Requests)
+	}
+	pt.WeightedValue = value
+	pt.UpperBound = bounds.Upper(sc, opts.Config.Weights)
+	if pt.UpperBound > 0 {
+		pt.Efficiency = value / pt.UpperBound
+	}
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	pt.P50 = percentile(latencies, 50)
+	pt.P99 = percentile(latencies, 99)
+	return pt, nil
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p/100*float64(len(sorted)-1))]
+}
+
+// CheckMonotone verifies the admission rate never rises by more than
+// tolerance as load grows — the sanity gate the CI saturation smoke
+// asserts. Returns a descriptive error naming the violating pair.
+func (r *SaturationResult) CheckMonotone(tolerance float64) error {
+	for i := 1; i < len(r.Points); i++ {
+		prev, cur := r.Points[i-1], r.Points[i]
+		if cur.AdmissionRate > prev.AdmissionRate+tolerance {
+			return fmt.Errorf(
+				"workload: admission rate rose with load: %.3f at load %v -> %.3f at load %v (tolerance %.3f)",
+				prev.AdmissionRate, prev.Load, cur.AdmissionRate, cur.Load, tolerance)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"datastaging/internal/simtime"
+)
+
+// Trace format versions. Version 1 is the initial format: header plus
+// arrivals. Version 2 adds provenance — the generating Spec and per-arrival
+// phase labels. The reader accepts every version up to TraceVersion; the
+// writer preserves the trace's declared version (NewTrace stamps the
+// current one).
+const (
+	TraceVersion   = 2
+	traceVersionV1 = 1
+)
+
+// Trace is the canonical replayable workload: a versioned header plus the
+// arrival stream, serialized as indented JSON (conventionally a
+// .trace.json file). A trace is network-independent except for the machine
+// count it was compiled against; replaying it requires a base scenario
+// with at least that many machines.
+type Trace struct {
+	Version int    `json:"version"`
+	Name    string `json:"name,omitempty"`
+	// Machines is the machine count the arrival stream addresses; every
+	// source/destination index is below it.
+	Machines int `json:"machines"`
+	// Spec, when present, records the generating spec (version ≥ 2;
+	// live-captured traces have none).
+	Spec     *Spec     `json:"spec,omitempty"`
+	Arrivals []Arrival `json:"arrivals"`
+}
+
+// TraceErrorKind classifies trace read failures.
+type TraceErrorKind string
+
+// The reader's failure classes.
+const (
+	// TraceBadJSON: the bytes are not the JSON shape the format requires.
+	TraceBadJSON TraceErrorKind = "bad-json"
+	// TraceBadVersion: the version field is missing, zero, or newer than
+	// this reader understands.
+	TraceBadVersion TraceErrorKind = "bad-version"
+	// TraceBadHeader: a header field is invalid (machine count, spec).
+	TraceBadHeader TraceErrorKind = "bad-header"
+	// TraceBadArrival: an arrival fails validation (Err.Index names it).
+	TraceBadArrival TraceErrorKind = "bad-arrival"
+	// TraceUnsorted: arrivals are not in non-decreasing instant order,
+	// the canonical (and replay-required) ordering.
+	TraceUnsorted TraceErrorKind = "unsorted"
+)
+
+// TraceError is the typed failure every trace-reading path returns:
+// malformed input is rejected with a classification, never a panic.
+type TraceError struct {
+	Kind TraceErrorKind
+	// Index is the offending arrival (-1 for header-level failures).
+	Index int
+	Msg   string
+}
+
+func (e *TraceError) Error() string {
+	if e.Index >= 0 {
+		return fmt.Sprintf("workload: %s trace: arrival %d: %s", e.Kind, e.Index, e.Msg)
+	}
+	return fmt.Sprintf("workload: %s trace: %s", e.Kind, e.Msg)
+}
+
+func traceErr(kind TraceErrorKind, index int, format string, args ...any) error {
+	return &TraceError{Kind: kind, Index: index, Msg: fmt.Sprintf(format, args...)}
+}
+
+// NewTrace bundles a compiled arrival stream into a current-version trace.
+func NewTrace(name string, machines int, spec *Spec, arrivals []Arrival) *Trace {
+	return &Trace{
+		Version:  TraceVersion,
+		Name:     name,
+		Machines: machines,
+		Spec:     spec,
+		Arrivals: arrivals,
+	}
+}
+
+// Validate applies the full format contract; the reader calls it, and a
+// writer-bound trace must pass it too.
+func (tr *Trace) Validate() error {
+	if tr.Version < traceVersionV1 || tr.Version > TraceVersion {
+		return traceErr(TraceBadVersion, -1,
+			"version %d outside supported [%d, %d]", tr.Version, traceVersionV1, TraceVersion)
+	}
+	if tr.Machines < 2 {
+		return traceErr(TraceBadHeader, -1, "machine count %d below 2", tr.Machines)
+	}
+	if tr.Spec != nil {
+		if tr.Version < 2 {
+			return traceErr(TraceBadHeader, -1, "version %d traces cannot carry a spec", tr.Version)
+		}
+		if err := tr.Spec.Validate(); err != nil {
+			return traceErr(TraceBadHeader, -1, "embedded spec: %v", err)
+		}
+	}
+	prev := simtime.Instant(-1)
+	for i := range tr.Arrivals {
+		a := &tr.Arrivals[i]
+		if err := a.validate(tr.Machines); err != nil {
+			return traceErr(TraceBadArrival, i, "%v", err)
+		}
+		if a.At < prev {
+			return traceErr(TraceUnsorted, i, "instant %v precedes previous arrival's %v", a.At, prev)
+		}
+		prev = a.At
+	}
+	return nil
+}
+
+// WriteTrace emits the canonical serialization: indented JSON with a
+// trailing newline, byte-stable for a given trace value.
+func WriteTrace(w io.Writer, tr *Trace) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return fmt.Errorf("workload: encode trace: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadTrace parses and validates a trace. Every failure is a *TraceError;
+// arbitrary input never panics. Unknown fields are rejected so a
+// future-version trace fails loudly instead of replaying half-blind.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var tr Trace
+	if err := dec.Decode(&tr); err != nil {
+		return nil, traceErr(TraceBadJSON, -1, "%v", err)
+	}
+	// Trailing garbage after the document is malformed input, not a trace.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, traceErr(TraceBadJSON, -1, "trailing data after the trace document")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// ReadTraceFile is ReadTrace over a file path.
+func ReadTraceFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
+
+// WriteTraceFile is WriteTrace to a file path.
+func WriteTraceFile(path string, tr *Trace) error {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// marshalUnchecked serializes without WriteTrace's validation, for feeding
+// the reader deliberately broken traces.
+func marshalUnchecked(tr *Trace) ([]byte, error) {
+	return json.Marshal(tr)
+}
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTrace is the fixed trace the byte-stability test pins: the tiny
+// spec compiled against 6 machines.
+func goldenTrace(t *testing.T) *Trace {
+	t.Helper()
+	spec := tinySpec()
+	arrivals, err := spec.Compile(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewTrace(spec.Name, 6, &spec, arrivals)
+}
+
+func TestTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, goldenTrace(t)); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "tiny.trace.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace serialization differs from golden %s (run with -update to regenerate)", golden)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := goldenTrace(t)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatal("trace did not round-trip through the canonical serialization")
+	}
+	var again bytes.Buffer
+	if err := WriteTrace(&again, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("re-serialized trace differs byte-for-byte")
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	tr := goldenTrace(t)
+	path := filepath.Join(t.TempDir(), "t.trace.json")
+	if err := WriteTraceFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatal("trace did not round-trip through a file")
+	}
+}
+
+// TestTraceV1Loads pins version skew: a version-1 trace (no spec, no phase
+// labels) written by an older build must still load and replay.
+func TestTraceV1Loads(t *testing.T) {
+	tr, err := ReadTraceFile(filepath.Join("testdata", "v1.trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Version != 1 {
+		t.Fatalf("v1 fixture has version %d", tr.Version)
+	}
+	if tr.Spec != nil {
+		t.Fatal("v1 traces cannot carry a spec")
+	}
+	if len(tr.Arrivals) == 0 {
+		t.Fatal("v1 fixture has no arrivals")
+	}
+	for i, a := range tr.Arrivals {
+		if a.Phase != "" {
+			t.Fatalf("v1 arrival %d carries a phase label %q", i, a.Phase)
+		}
+	}
+}
+
+func TestReadTraceTypedErrors(t *testing.T) {
+	valid := func() *Trace { return goldenTrace(t) }
+	cases := []struct {
+		name string
+		raw  string // used verbatim when non-empty
+		edit func(*Trace)
+		want TraceErrorKind
+	}{
+		{name: "not json", raw: "not json at all", want: TraceBadJSON},
+		{name: "wrong shape", raw: `[1,2,3]`, want: TraceBadJSON},
+		{name: "unknown field", raw: `{"version":2,"machines":6,"arrivals":[],"futureField":1}`, want: TraceBadJSON},
+		{name: "trailing data", raw: `{"version":2,"machines":6,"arrivals":[]} {"more":true}`, want: TraceBadJSON},
+		{name: "missing version", raw: `{"machines":6,"arrivals":[]}`, want: TraceBadVersion},
+		{name: "future version", edit: func(tr *Trace) { tr.Version = TraceVersion + 1 }, want: TraceBadVersion},
+		{name: "one machine", edit: func(tr *Trace) { tr.Machines = 1 }, want: TraceBadHeader},
+		{name: "v1 with spec", edit: func(tr *Trace) { tr.Version = 1 }, want: TraceBadHeader},
+		{name: "bad spec", edit: func(tr *Trace) { tr.Spec.Phases = nil }, want: TraceBadHeader},
+		{name: "bad arrival", edit: func(tr *Trace) { tr.Arrivals[0].SizeBytes = 0 }, want: TraceBadArrival},
+		{name: "machine out of range", edit: func(tr *Trace) { tr.Machines = 3 }, want: TraceBadArrival},
+		{name: "unsorted", edit: func(tr *Trace) {
+			tr.Arrivals[0], tr.Arrivals[1] = tr.Arrivals[1], tr.Arrivals[0]
+		}, want: TraceUnsorted},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := []byte(tc.raw)
+			if tc.raw == "" {
+				tr := valid()
+				tc.edit(tr)
+				// Serialize without WriteTrace's validation so the reader is
+				// the one that must reject it.
+				b, err := marshalUnchecked(tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				raw = b
+			}
+			_, err := ReadTrace(bytes.NewReader(raw))
+			var te *TraceError
+			if !errors.As(err, &te) {
+				t.Fatalf("want *TraceError, got %v", err)
+			}
+			if te.Kind != tc.want {
+				t.Fatalf("want kind %s, got %s (%v)", tc.want, te.Kind, te)
+			}
+		})
+	}
+}
+
+func TestWriteTraceRejectsInvalid(t *testing.T) {
+	tr := goldenTrace(t)
+	tr.Machines = 0
+	var buf bytes.Buffer
+	err := WriteTrace(&buf, tr)
+	var te *TraceError
+	if !errors.As(err, &te) || te.Kind != TraceBadHeader {
+		t.Fatalf("want bad-header *TraceError, got %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("invalid trace still produced output")
+	}
+}
+
+func TestTraceErrorMessage(t *testing.T) {
+	header := &TraceError{Kind: TraceBadHeader, Index: -1, Msg: "x"}
+	if s := header.Error(); !strings.Contains(s, "bad-header") || strings.Contains(s, "arrival") {
+		t.Fatalf("header error message %q", s)
+	}
+	arrival := &TraceError{Kind: TraceBadArrival, Index: 3, Msg: "x"}
+	if s := arrival.Error(); !strings.Contains(s, "arrival 3") {
+		t.Fatalf("arrival error message %q", s)
+	}
+}

@@ -22,3 +22,14 @@ if [ "$ok" != 1 ]; then
     echo "add tests for the new code, or delete dead code; the floor in scripts/coverage_floor.txt only ratchets up" >&2
     exit 1
 fi
+
+# Per-package floor for the workload package: the trace format and the
+# saturation analyzer are the replay contract, so they hold a higher bar
+# than the repo-wide ratchet.
+wl=$(go test -short -cover ./internal/workload/ | awk '{for (i=1; i<=NF; i++) if ($i ~ /%$/) print $i}' | tr -d '%')
+echo "internal/workload statement coverage: ${wl}% (floor: 85%)"
+wlok=$(awk -v t="$wl" 'BEGIN { print (t+0 >= 85.0) ? 1 : 0 }')
+if [ "$wlok" != 1 ]; then
+    echo "internal/workload coverage ${wl}% is below its 85% floor" >&2
+    exit 1
+fi

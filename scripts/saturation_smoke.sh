@@ -1,0 +1,31 @@
+#!/bin/sh
+# saturation_smoke.sh — CI smoke for the workload saturation analyzer: a
+# tiny three-point offered-load sweep over the bursty builtin spec with the
+# deterministic fake clock. The -sat-gate flag makes stagesim fail unless
+# the admission rate is monotone non-increasing across loads (±0.05); the
+# JSON artifact is left at .saturation-smoke.json for CI to upload, and a
+# second run must reproduce it byte for byte.
+#
+# Usage: scripts/saturation_smoke.sh
+set -eu
+
+artifact=.saturation-smoke.json
+rerun=.saturation-smoke-rerun.json
+trap 'rm -f "$rerun"' EXIT
+
+go run ./cmd/stagesim -saturation -sat-spec burst -sat-loads 0.5,2,8 \
+    -sat-fake-clock -sat-gate -sat-out "$artifact" -quiet
+
+if [ ! -s "$artifact" ]; then
+    echo "saturation-smoke: artifact $artifact is missing or empty" >&2
+    exit 1
+fi
+
+go run ./cmd/stagesim -saturation -sat-spec burst -sat-loads 0.5,2,8 \
+    -sat-fake-clock -sat-gate -sat-out "$rerun" -quiet > /dev/null
+
+if ! cmp -s "$artifact" "$rerun"; then
+    echo "saturation-smoke: artifact is not byte-stable across runs" >&2
+    exit 1
+fi
+echo "saturation-smoke: OK (artifact: $artifact)" >&2
