@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json bench-smoke serve-smoke soak-smoke saturation-smoke trace-check cover cover-check fuzz study examples clean
+.PHONY: all build vet test test-short race bench bench-json bench-regress bench-smoke serve-smoke soak-smoke saturation-smoke trace-check cover cover-check fuzz study examples clean
 
 all: build vet test
 
@@ -32,6 +32,16 @@ bench:
 # (baselines are preserved; see scripts/bench_baseline.sh).
 bench-json:
 	sh scripts/bench_baseline.sh BENCH_core.json
+
+# Re-measure the recorded hot-path benchmarks against the frozen
+# BENCH_core.json baselines and fail if any regressed past the tolerance
+# (fractional ns/op; override with BENCH_TOLERANCE=0.25 etc.). Runs
+# against a scratch copy so the committed trajectory only moves through a
+# deliberate `make bench-json`.
+BENCH_TOLERANCE ?= 0.15
+bench-regress:
+	@tmp=$$(mktemp /tmp/bench_regress.XXXXXX.json) && cp BENCH_core.json "$$tmp" && \
+	{ MAX_REGRESS=$(BENCH_TOLERANCE) sh scripts/bench_baseline.sh "$$tmp"; rc=$$?; rm -f "$$tmp"; exit $$rc; }
 
 # One iteration of each interval-kernel benchmark: a CI smoke check that
 # the benchmark code itself keeps compiling and running between full
@@ -82,6 +92,7 @@ fuzz:
 	$(GO) test ./internal/validator/ -run='^$$' -fuzz=FuzzValidateRoundTrip -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/simtime/ -run='^$$' -fuzz=FuzzKernelEquivalence -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/resource/ -run='^$$' -fuzz=FuzzKernelEquivalence -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/dijkstra/ -run='^$$' -fuzz=FuzzBatchComputeEquivalence -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/dynamic/ -run='^$$' -fuzz=FuzzEngineIncrementalEquivalence -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/workload/ -run='^$$' -fuzz=FuzzTraceRoundTrip -fuzztime=$(FUZZTIME)
 

@@ -149,6 +149,16 @@ type Config struct {
 	// already fan out across whole scheduling runs (internal/experiment)
 	// should leave their per-run configs at 1 to avoid oversubscription.
 	Parallelism int
+	// DisableBatch turns off the batched relaxation kernel: invalidated
+	// forests are then recomputed one by one (serially, or by the
+	// work-stealing worker pool when Parallelism > 1) instead of in merged
+	// dijkstra.ComputeBatch walks that visit each link timeline once per
+	// batch. The schedule produced is identical either way — the batched
+	// kernel is bit-exact against serial Compute (the equivalence suites
+	// and FuzzBatchComputeEquivalence prove it) — so like Paranoid this is
+	// a debugging and differential-testing knob, never a production
+	// setting.
+	DisableBatch bool
 	// Paranoid drops every cached forest on every commit, reproducing the
 	// paper's re-run-Dijkstra-each-iteration implementation. The schedule
 	// produced is identical to the conflict-tracking cache (the

@@ -94,5 +94,6 @@ func subStats(cur, prev Stats) Stats {
 		ReplanWall:      cur.ReplanWall - prev.ReplanWall,
 		ParallelBatches: cur.ParallelBatches - prev.ParallelBatches,
 		BatchedRuns:     cur.BatchedRuns - prev.BatchedRuns,
+		RelaxBatches:    cur.RelaxBatches - prev.RelaxBatches,
 	}
 }

@@ -39,6 +39,8 @@ func statsFromTrace(events []obs.Event) Stats {
 			st.Commits++
 		case obs.EvParallelBatch:
 			st.ParallelBatches++
+		case obs.EvRelaxBatch:
+			st.RelaxBatches++
 			st.BatchedRuns += e.N
 		}
 	}
@@ -89,7 +91,8 @@ func TestQuickTraceStatsEquivalence(t *testing.T) {
 			snap.Counters["core.invalidations_total"] != int64(want.Invalidations) ||
 			snap.Counters["core.iterations_total"] != int64(want.Iterations) ||
 			snap.Counters["core.parallel_batches_total"] != int64(want.ParallelBatches) ||
-			snap.Counters["core.batched_runs_total"] != int64(want.BatchedRuns) {
+			snap.Counters["core.batched_runs_total"] != int64(want.BatchedRuns) ||
+			snap.Counters["core.relax_batches_total"] != int64(want.RelaxBatches) {
 			t.Errorf("seed %d %v: registry counters disagree with Stats: %+v vs %+v",
 				seed, pair, snap.Counters, want)
 			return false

@@ -140,14 +140,71 @@ func TestParallelBatchStats(t *testing.T) {
 		t.Error("replan wall time not recorded")
 	}
 
+	if res.Stats.RelaxBatches == 0 {
+		t.Error("no merged relaxation walks ran with batching enabled")
+	}
+
 	serialCfg := cfg
 	serialCfg.Parallelism = 1
 	ser, err := Schedule(sc, serialCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ser.Stats.ParallelBatches != 0 || ser.Stats.BatchedRuns != 0 {
+	if ser.Stats.ParallelBatches != 0 {
 		t.Errorf("serial run recorded parallel batches: %+v", ser.Stats)
+	}
+	if ser.Stats.RelaxBatches == 0 || ser.Stats.BatchedRuns == 0 {
+		t.Errorf("serial run recorded no merged relaxation walks: %+v", ser.Stats)
+	}
+
+	offCfg := serialCfg
+	offCfg.DisableBatch = true
+	off, err := Schedule(sc, offCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Stats.RelaxBatches != 0 || off.Stats.BatchedRuns != 0 || off.Stats.ParallelBatches != 0 {
+		t.Errorf("DisableBatch serial run recorded batches: %+v", off.Stats)
+	}
+}
+
+// TestBatchDisabledMatchesDefault is the planner-level differential oracle
+// for the batched relaxation kernel: for every heuristic/criterion pair,
+// batching on (the default) and off must produce identical schedules and
+// identical deterministic work counters, serially and at forced
+// parallelism.
+func TestBatchDisabledMatchesDefault(t *testing.T) {
+	p := gen.Default()
+	p.Machines = gen.IntRange{Min: 5, Max: 7}
+	p.RequestsPerMachine = gen.IntRange{Min: 5, Max: 10}
+	w := model.Weights1x10x100
+	for seed := int64(1); seed <= 2; seed++ {
+		for _, serialTransfers := range []bool{false, true} {
+			sc := gen.MustGenerate(p, seed)
+			sc.SerialTransfers = serialTransfers
+			for _, pair := range Pairs() {
+				base := Config{Heuristic: pair.Heuristic, Criterion: pair.Criterion,
+					EU: EUFromLog10(1), Weights: w}
+				for _, par := range []int{1, 8} {
+					on, off := base, base
+					on.Parallelism, off.Parallelism = par, par
+					off.DisableBatch = true
+					got, err := Schedule(sc, on)
+					if err != nil {
+						t.Fatalf("seed %d %v par=%d batched: %v", seed, pair, par, err)
+					}
+					want, err := Schedule(sc, off)
+					if err != nil {
+						t.Fatalf("seed %d %v par=%d unbatched: %v", seed, pair, par, err)
+					}
+					assertSameSchedule(t, "batched vs unbatched", seed, pair, got, want)
+					if g, w := deterministicStats(got.Stats), deterministicStats(want.Stats); g != w {
+						t.Errorf("seed %d %v par=%d: batched stats %+v differ from unbatched %+v",
+							seed, pair, par, g, w)
+					}
+				}
+			}
+		}
 	}
 }
 

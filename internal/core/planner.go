@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"datastaging/internal/arena"
 	"datastaging/internal/dijkstra"
 	"datastaging/internal/model"
 	"datastaging/internal/obs"
@@ -36,9 +37,15 @@ type Stats struct {
 	// ParallelBatches is how many iteration-top replan batches ran on
 	// more than one worker goroutine. Zero when Parallelism is 1.
 	ParallelBatches int
-	// BatchedRuns is how many forests were computed inside those parallel
-	// batches (a subset of DijkstraRuns).
+	// BatchedRuns is how many forests were computed inside merged
+	// relaxation walks (dijkstra.ComputeBatch) rather than one-by-one
+	// serial Compute calls (a subset of DijkstraRuns). Zero when
+	// Config.DisableBatch is set.
 	BatchedRuns int
+	// RelaxBatches is how many merged relaxation walks ran: a serial
+	// prefetch contributes one per iteration-top batch, a parallel
+	// prefetch one per worker chunk. Zero when Config.DisableBatch is set.
+	RelaxBatches int
 }
 
 // planner owns the resource state and the per-item plan cache for one
@@ -83,13 +90,52 @@ type planner struct {
 	// w of a parallel batch. Each is owned by one goroutine at a time.
 	scratch       *dijkstra.Scratch
 	workerScratch []*dijkstra.Scratch
-	// queue, reuse, open, byR, and cands are per-iteration scratch reused
-	// across rounds to keep the select-and-commit loop allocation-free.
-	queue []model.ItemID
-	reuse []*dijkstra.Plan
-	open  []int
-	byR   map[model.MachineID]int
-	cands []candidate
+	// batch enables merged-relaxation prefetch (ComputeBatch); see
+	// Config.DisableBatch. batchScratch backs serial batches and
+	// workerBatch[w] backs worker w's chunk of a parallel batch.
+	batch        bool
+	batchScratch *dijkstra.BatchScratch
+	workerBatch  []*dijkstra.BatchScratch
+	// Plan material is carved from grow-only arenas: a new Plan and its
+	// five per-machine label slices come from recycled slabs, pre-sized so
+	// the compute kernels never reallocate them. The arenas are never
+	// Reset — plans live as long as the planner — they only amortize
+	// growth into O(log n) slab allocations; steady state is covered by
+	// freePlans recycling.
+	planArena arena.Arena[dijkstra.Plan]
+	instArena arena.Arena[simtime.Instant]
+	machArena arena.Arena[model.MachineID]
+	linkArena arena.Arena[model.LinkID]
+	durArena  arena.Arena[time.Duration]
+	// queue, reuse, byR, and cands are per-iteration scratch reused
+	// across rounds to keep the select-and-commit loop allocation-free;
+	// hops, pathBuf, and seen back the commit paths the same way.
+	queue   []model.ItemID
+	reuse   []*dijkstra.Plan
+	byR     map[model.MachineID]int
+	cands   []candidate
+	hops    []dijkstra.Hop
+	pathBuf []dijkstra.Hop
+	seen    []bool
+	// candGroups[i] caches item i's candidate groups exactly as the last
+	// build produced them; candValid[i] says the cache is current. An
+	// item's candidates are a pure function of its forest, its own
+	// satisfaction/holder state, and the planning floor — and every event
+	// that moves any of those (a commit touching the item, a conflict or
+	// floor invalidation, paranoid mode) already goes through invalidate,
+	// which clears the bit. So a valid cache entry is bit-identical to
+	// what a rebuild would produce, and the per-iteration candidates pass
+	// costs O(invalidated) instead of O(live backlog).
+	candGroups [][]candidate
+	candValid  []bool
+	// openCache[i] caches item i's open-request indices. Unlike the
+	// forest and candidate caches, the open set moves only when the
+	// item's own satisfaction or holders change — that is, on the item's
+	// own commit (ReasonOwner) — so conflict and floor invalidations
+	// leave it intact and a rebuilt candidates pass skips the
+	// per-request satisfaction probes entirely.
+	openCache [][]int
+	openValid []bool
 	// paranoid drops every cached forest on every commit, reproducing the
 	// paper's re-run-Dijkstra-each-iteration implementation. Tests compare
 	// it against the conflict-tracking cache to prove they are equivalent.
@@ -108,7 +154,7 @@ type planner struct {
 	// deltas to the counters.
 	flushedScratch dijkstra.ScratchStats
 	mIterations, mCommits, mDijkstra, mCacheHits, mInvalidations,
-	mParallelBatches, mBatchedRuns, mCostEvals, mSatisfied *obs.Counter
+	mParallelBatches, mBatchedRuns, mRelaxBatches, mCostEvals, mSatisfied *obs.Counter
 	hCandidates, hSlack *obs.Histogram
 }
 
@@ -124,11 +170,16 @@ func plannerOn(st *state.State, cfg Config) *planner {
 		st:       st,
 		cfg:      cfg,
 		workers:  cfg.workers(),
-		plans:    make([]*dijkstra.Plan, items),
-		fresh:    make([]bool, items),
-		dead:     make([]bool, items),
-		live:     make([]model.ItemID, items),
+		plans:      make([]*dijkstra.Plan, items),
+		fresh:      make([]bool, items),
+		dead:       make([]bool, items),
+		live:       make([]model.ItemID, items),
+		candGroups: make([][]candidate, items),
+		candValid:  make([]bool, items),
+		openCache:  make([][]int, items),
+		openValid:  make([]bool, items),
 		scratch:  dijkstra.NewScratch(),
+		batch:    !cfg.DisableBatch,
 		paranoid: cfg.Paranoid,
 	}
 	for i := range p.live {
@@ -147,6 +198,7 @@ func plannerOn(st *state.State, cfg Config) *planner {
 		p.mInvalidations = o.Counter("core.invalidations_total")
 		p.mParallelBatches = o.Counter("core.parallel_batches_total")
 		p.mBatchedRuns = o.Counter("core.batched_runs_total")
+		p.mRelaxBatches = o.Counter("core.relax_batches_total")
 		p.mCostEvals = o.Counter("core.cost_evaluations_total")
 		p.mSatisfied = o.Counter("core.requests_satisfied_total")
 		p.hCandidates = o.Histogram("core.iteration_candidates", obs.CountBuckets)
@@ -166,6 +218,12 @@ func (p *planner) flushScratchMetrics() {
 	}
 	ds := p.scratch.Stats()
 	for _, s := range p.workerScratch {
+		ds.Add(s.Stats())
+	}
+	if p.batchScratch != nil {
+		ds.Add(p.batchScratch.Stats())
+	}
+	for _, s := range p.workerBatch {
 		ds.Add(s.Stats())
 	}
 	prev := p.flushedScratch
@@ -189,10 +247,33 @@ func (p *planner) takeFree() *dijkstra.Plan {
 	return pl
 }
 
+// takePlan returns a Plan ready for the compute kernels: a recycled one
+// when available, otherwise a fresh one carved from the planner's arenas
+// with every label slice pre-sized to the machine count, so the kernels'
+// growSlice calls always hit capacity and a growth burst (a new item wave)
+// costs a handful of slab allocations instead of six per plan.
+func (p *planner) takePlan() *dijkstra.Plan {
+	if pl := p.takeFree(); pl != nil {
+		return pl
+	}
+	m := p.st.Scenario().Network.NumMachines()
+	pl := &p.planArena.Alloc(1)[0]
+	pl.Arrival = p.instArena.Alloc(m)
+	pl.Pred = p.machArena.Alloc(m)
+	pl.Via = p.linkArena.Alloc(m)
+	pl.Start = p.instArena.Alloc(m)
+	pl.Dur = p.durArena.Alloc(m)
+	return pl
+}
+
 // invalidate drops an item's cached forest and recycles the struct. The
 // reason is purely observational (traced only when a forest was actually
 // dropped).
 func (p *planner) invalidate(item model.ItemID, why obs.Reason) {
+	p.candValid[item] = false
+	if why == obs.ReasonOwner || why == obs.ReasonParanoid {
+		p.openValid[item] = false
+	}
 	if pl := p.plans[item]; pl != nil {
 		p.freePlans = append(p.freePlans, pl)
 		p.plans[item] = nil
@@ -227,6 +308,10 @@ func (p *planner) grow() {
 		p.fresh = append(p.fresh, false)
 		p.dead = append(p.dead, false)
 		p.live = append(p.live, model.ItemID(i))
+		p.candGroups = append(p.candGroups, nil)
+		p.candValid = append(p.candValid, false)
+		p.openCache = append(p.openCache, nil)
+		p.openValid = append(p.openValid, false)
 	}
 }
 
@@ -271,7 +356,7 @@ func (p *planner) plan(item model.ItemID) *dijkstra.Plan {
 		return pl
 	}
 	span := p.replanTimer.Start()
-	pl := p.scratch.Compute(p.st, item, p.takeFree())
+	pl := p.scratch.Compute(p.st, item, p.takePlan())
 	span.Stop()
 	p.plans[item] = pl
 	p.stats.DijkstraRuns++
@@ -283,15 +368,28 @@ func (p *planner) plan(item model.ItemID) *dijkstra.Plan {
 }
 
 // prefetch recomputes every invalidated forest the coming candidates pass
-// will need, spreading the work over the configured worker pool. Compute
-// only reads the shared state and each worker owns its Scratch, writing
-// results back by item index, so the batch is race-free and the resulting
-// forests are byte-identical to what the lazy serial path would compute
-// one by one (no commit happens between prefetch and use).
+// will need. With batching on (the default) the queue is relaxed in merged
+// dijkstra.ComputeBatch walks — one walk serially, or one contiguous chunk
+// per worker when Parallelism > 1 — so each link timeline is traversed once
+// per walk instead of once per (forest, link). With batching off the old
+// paths run: lazy one-by-one computes serially, or the work-stealing worker
+// pool in parallel. All four paths produce byte-identical forests (Compute
+// and ComputeBatch only read the shared state; results are written back by
+// item index; no commit happens between prefetch and use), and Stats are
+// path-independent because batch-computed forests are charged to
+// DijkstraRuns at first use via the fresh flags, exactly where the lazy
+// serial path would have computed them.
+// mergedMinHistory gates the merged relaxation walk on committed-history
+// length. The walk amortizes link-timeline scans across the whole batch,
+// which pays once timelines are long enough for scanning to dominate; on a
+// short history its deeper heap (k forests' frontiers interleaved) costs
+// more than the scans it saves, so below this many committed transfers the
+// planner computes forests one at a time instead. Either way the forests
+// are bit-identical — this is purely a cost dispatch.
+const mergedMinHistory = 64
+
 func (p *planner) prefetch() {
-	if p.workers <= 1 {
-		return
-	}
+	merged := p.batch && len(p.st.Transfers()) >= mergedMinHistory
 	queue := p.queue[:0]
 	for _, item := range p.live {
 		if p.dead[item] || p.plans[item] != nil || !p.st.IsReleased(item) {
@@ -307,57 +405,118 @@ func (p *planner) prefetch() {
 	}
 	p.queue = queue
 	if len(queue) < 2 {
-		return // the lazy path handles a single recompute without goroutines
+		return // the lazy path handles a single recompute without batches
 	}
 	reuse := p.reuse[:0]
 	for range queue {
-		reuse = append(reuse, p.takeFree())
+		reuse = append(reuse, p.takePlan())
 	}
 	p.reuse = reuse
 
 	span := p.replanTimer.Start()
-	workers := min(p.workers, len(queue))
-	for len(p.workerScratch) < workers {
-		p.workerScratch = append(p.workerScratch, dijkstra.NewScratch())
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		s := p.workerScratch[w]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				k := int(next.Add(1)) - 1
-				if k >= len(queue) {
-					return
-				}
-				item := queue[k]
-				p.plans[item] = s.Compute(p.st, item, reuse[k])
-				p.fresh[item] = true
+	relaxed := 0 // merged walks run (0 with batching off)
+	switch {
+	case merged && p.workers <= 1:
+		if p.batchScratch == nil {
+			p.batchScratch = dijkstra.NewBatchScratch()
+		}
+		p.batchScratch.ComputeBatch(p.st, queue, reuse)
+		relaxed = 1
+		if p.tr.Enabled() {
+			p.tr.Emit(obs.Event{Kind: obs.EvRelaxBatch, N: len(queue)})
+		}
+	case merged:
+		workers := min(p.workers, len(queue))
+		for len(p.workerBatch) < workers {
+			p.workerBatch = append(p.workerBatch, dijkstra.NewBatchScratch())
+		}
+		chunk := (len(queue) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, len(queue))
+			if lo >= hi {
+				break
 			}
-		}()
+			relaxed++
+			if p.tr.Enabled() {
+				p.tr.Emit(obs.Event{Kind: obs.EvRelaxBatch, N: hi - lo})
+			}
+			bs := p.workerBatch[w]
+			wg.Add(1)
+			// Slices are passed as arguments, not captured: a captured
+			// queue/reuse would force the variables onto the heap for
+			// every prefetch call, including the empty steady-state ones.
+			go func(items []model.ItemID, plans []*dijkstra.Plan) {
+				defer wg.Done()
+				bs.ComputeBatch(p.st, items, plans)
+			}(queue[lo:hi], reuse[lo:hi])
+		}
+		wg.Wait()
+	case p.workers <= 1:
+		// Serial without the merged walk: compute the queued forests one
+		// at a time with the planner's own scratch — exactly the computes
+		// (and compute order) the lazy candidates pass would perform, but
+		// under a single phase-timer span instead of one time.Now pair
+		// per forest.
+		for k, item := range queue {
+			reuse[k] = p.scratch.Compute(p.st, item, reuse[k])
+		}
+	default:
+		workers := min(p.workers, len(queue))
+		for len(p.workerScratch) < workers {
+			p.workerScratch = append(p.workerScratch, dijkstra.NewScratch())
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			s := p.workerScratch[w]
+			wg.Add(1)
+			go func(items []model.ItemID, plans []*dijkstra.Plan) {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(items) {
+						return
+					}
+					plans[k] = s.Compute(p.st, items[k], plans[k])
+				}
+			}(queue, reuse)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	span.Stop()
-	p.stats.ParallelBatches++
-	p.stats.BatchedRuns += len(queue)
-	p.mParallelBatches.Inc()
-	p.mBatchedRuns.Add(int64(len(queue)))
-	if p.tr.Enabled() {
-		p.tr.Emit(obs.Event{Kind: obs.EvParallelBatch, N: len(queue)})
-	}
-	for k := range reuse {
+	for k, item := range queue {
+		p.plans[item] = reuse[k]
+		p.fresh[item] = true
 		reuse[k] = nil // drop aliases to plans now owned by the cache
+	}
+	if relaxed > 0 {
+		p.stats.RelaxBatches += relaxed
+		p.stats.BatchedRuns += len(queue)
+		p.mRelaxBatches.Add(int64(relaxed))
+		p.mBatchedRuns.Add(int64(len(queue)))
+	}
+	if p.workers > 1 {
+		p.stats.ParallelBatches++
+		p.mParallelBatches.Inc()
+		if p.tr.Enabled() {
+			p.tr.Emit(obs.Event{Kind: obs.EvParallelBatch, N: len(queue)})
+		}
 	}
 }
 
 // openRequests returns the indices of the item's requests that are neither
-// satisfied nor closed by a (possibly late) copy at the destination. The
-// returned slice is planner-owned scratch, valid until the next call.
+// satisfied nor closed by a (possibly late) copy at the destination,
+// served from the per-item cache when the item's own satisfaction state
+// has not moved since the last build. The returned slice is planner-owned,
+// valid until the item's next ReasonOwner invalidation.
 func (p *planner) openRequests(item model.ItemID) []int {
+	if p.openValid[item] {
+		return p.openCache[item]
+	}
 	it := p.st.Scenario().Item(item)
-	open := p.open[:0]
+	open := p.openCache[item][:0]
 	for k, rq := range it.Requests {
 		if p.st.IsSatisfied(model.RequestID{Item: item, Index: k}) {
 			continue
@@ -367,7 +526,8 @@ func (p *planner) openRequests(item model.ItemID) []int {
 		}
 		open = append(open, k)
 	}
-	p.open = open
+	p.openCache[item] = open
+	p.openValid[item] = true
 	return open
 }
 
@@ -378,7 +538,6 @@ func (p *planner) openRequests(item model.ItemID) []int {
 // planner-owned scratch, valid until the next call.
 func (p *planner) candidates() []candidate {
 	p.prefetch()
-	sc := p.st.Scenario()
 	out := p.cands[:0]
 	live := p.live
 	w := 0
@@ -391,65 +550,89 @@ func (p *planner) candidates() []candidate {
 		if !p.st.IsReleased(item) {
 			continue // never mark withheld items dead: they may be released later
 		}
-		open := p.openRequests(item)
-		if len(open) == 0 {
-			p.markDead(item, obs.ReasonNoOpenRequests)
-			continue
+		if p.candValid[item] {
+			// Served from the candidate cache: the forest reuse this
+			// replaces is counted exactly where the uncached pass's
+			// plan() lookup would have counted it.
+			p.stats.CacheHits++
+			p.mCacheHits.Inc()
+			if p.tr.Enabled() {
+				p.tr.Emit(obs.Event{Kind: obs.EvForestCacheHit, Item: int(item)})
+			}
+		} else {
+			p.buildItemCands(item)
 		}
-		pl := p.plan(item)
-		it := sc.Item(item)
-		firstLen := len(out)
-		// byR maps a next machine to its candidate's index in out; the map
-		// is reused across items and rounds, cleared on first use per item.
-		cleared := false
-		for _, k := range open {
-			rq := &it.Requests[k]
-			at := pl.Arrival[rq.Machine]
-			if at == simtime.Never || at.After(rq.Deadline) {
-				continue // Sat = 0: no resources for this request (§4.8)
-			}
-			hop, ok := pl.FirstHopTo(rq.Machine)
-			if !ok {
-				continue
-			}
-			d := destInfo{
-				req:      model.RequestID{Item: item, Index: k},
-				machine:  rq.Machine,
-				weight:   p.cfg.Weights.Of(rq.Priority),
-				slackSec: rq.Deadline.Sub(at).Seconds(),
-			}
-			if !cleared {
-				if p.byR == nil {
-					p.byR = make(map[model.MachineID]int, 8)
-				} else {
-					clear(p.byR)
-				}
-				cleared = true
-			}
-			idx, seen := p.byR[hop.To]
-			if !seen {
-				idx = len(out)
-				p.byR[hop.To] = idx
-				out = appendCandidate(out, item, hop)
-			}
-			out[idx].dests = append(out[idx].dests, d)
-		}
-		if len(out) == firstLen {
-			// No satisfiable destination now means never: the item's own
-			// arrivals improve only when it is scheduled, which requires a
-			// candidate, and other commits only consume resources. The one
-			// exception is a cap-blocked forest — a later planning floor
-			// shortens hold intervals, so a destination unreachable for
-			// lack of storage today can open up at a future epoch; such
-			// items stay live and are re-examined after floor advances.
-			if !pl.CapBlocked {
-				p.markDead(item, obs.ReasonUnsatisfiable)
-			}
-		}
+		out = append(out, p.candGroups[item]...)
 	}
 	p.live = live[:w]
 	p.cands = out
 	return out
+}
+
+// buildItemCands rebuilds one item's candidate groups into its cache slot
+// (recycling the slot's previous group and dest backing arrays) and marks
+// the cache valid, or marks the item dead when no open request remains
+// satisfiable.
+func (p *planner) buildItemCands(item model.ItemID) {
+	groups := p.candGroups[item][:0]
+	defer func() { p.candGroups[item] = groups }()
+	open := p.openRequests(item)
+	if len(open) == 0 {
+		p.markDead(item, obs.ReasonNoOpenRequests)
+		return
+	}
+	pl := p.plan(item)
+	it := p.st.Scenario().Item(item)
+	// byR maps a next machine to its group's index; the map is reused
+	// across items and rounds, cleared on first use per item.
+	cleared := false
+	for _, k := range open {
+		rq := &it.Requests[k]
+		at := pl.Arrival[rq.Machine]
+		if at == simtime.Never || at.After(rq.Deadline) {
+			continue // Sat = 0: no resources for this request (§4.8)
+		}
+		hop, ok := pl.FirstHopTo(rq.Machine)
+		if !ok {
+			continue
+		}
+		d := destInfo{
+			req:      model.RequestID{Item: item, Index: k},
+			machine:  rq.Machine,
+			weight:   p.cfg.Weights.Of(rq.Priority),
+			slackSec: rq.Deadline.Sub(at).Seconds(),
+		}
+		if !cleared {
+			if p.byR == nil {
+				p.byR = make(map[model.MachineID]int, 8)
+			} else {
+				clear(p.byR)
+			}
+			cleared = true
+		}
+		idx, seen := p.byR[hop.To]
+		if !seen {
+			idx = len(groups)
+			p.byR[hop.To] = idx
+			groups = appendCandidate(groups, item, hop)
+		}
+		groups[idx].dests = append(groups[idx].dests, d)
+	}
+	if len(groups) == 0 {
+		// No satisfiable destination now means never: the item's own
+		// arrivals improve only when it is scheduled, which requires a
+		// candidate, and other commits only consume resources. The one
+		// exception is a cap-blocked forest — a later planning floor
+		// shortens hold intervals, so a destination unreachable for
+		// lack of storage today can open up at a future epoch; such
+		// items stay live (with a cached empty group) and are rebuilt
+		// when the floor advance invalidates the forest.
+		if !pl.CapBlocked {
+			p.markDead(item, obs.ReasonUnsatisfiable)
+			return
+		}
+	}
+	p.candValid[item] = true
 }
 
 // appendCandidate grows the candidate scratch by one slot, recycling the
@@ -487,12 +670,14 @@ func (p *planner) commit(item model.ItemID, link model.LinkID, start simtime.Ins
 	// Only live items can hold a cached forest: markDead recycles the
 	// plan, so a nil check covers items that died since the last
 	// compaction of the live list.
+	trSpan := simtime.Span(tr.Start, tr.Duration)
+	serial := p.st.SerialTransfers()
 	for _, i := range p.live {
 		pl := p.plans[i]
 		if pl == nil || i == item {
 			continue
 		}
-		if p.planConflicts(pl, tr) {
+		if p.planConflicts(pl, tr, trSpan, serial) {
 			p.invalidate(i, obs.ReasonConflict)
 			p.stats.Invalidations++
 			p.mInvalidations.Inc()
@@ -534,9 +719,9 @@ func (p *planner) observeCommit(item model.ItemID, tr state.Transfer) {
 // cached forest: either it occupies link time one of the forest's hops was
 // counting on, or the capacity it consumed at the receiving machine no
 // longer backs the forest's planned copy there.
-func (p *planner) planConflicts(pl *dijkstra.Plan, tr state.Transfer) bool {
-	trSpan := simtime.Span(tr.Start, tr.Duration)
-	serial := p.st.SerialTransfers()
+// trSpan and serial are loop invariants of commit's invalidation sweep,
+// hoisted to the caller.
+func (p *planner) planConflicts(pl *dijkstra.Plan, tr state.Transfer, trSpan simtime.Interval, serial bool) bool {
 	for v := range pl.Via {
 		if pl.Via[v] == dijkstra.NoLink {
 			continue
@@ -575,9 +760,12 @@ func (p *planner) commitHop(item model.ItemID, hop dijkstra.Hop) error {
 }
 
 // commitPath commits every hop from the item's forest root to one
-// destination (the full path/one destination heuristic's step).
+// destination (the full path/one destination heuristic's step). The hop
+// list lives in planner scratch: hop values are copied out of the forest
+// before the first commit invalidates it.
 func (p *planner) commitPath(item model.ItemID, dest model.MachineID) error {
-	hops, ok := p.plan(item).PathTo(dest)
+	hops, ok := p.plan(item).AppendPathTo(p.hops[:0], dest)
+	p.hops = hops
 	if !ok {
 		return fmt.Errorf("core: no path for item %d to machine %d", item, dest)
 	}
@@ -595,11 +783,21 @@ func (p *planner) commitPath(item model.ItemID, dest model.MachineID) error {
 // deduplicated by receiving machine and committed in start order.
 func (p *planner) commitTree(item model.ItemID, c *candidate) error {
 	pl := p.plan(item)
-	seen := make(map[model.MachineID]bool, len(c.dests)*2)
-	var hops []dijkstra.Hop
+	m := len(pl.Arrival)
+	if cap(p.seen) < m {
+		p.seen = make([]bool, m)
+	}
+	seen := p.seen[:m]
+	for i := range seen {
+		seen[i] = false
+	}
+	hops := p.hops[:0]
+	path := p.pathBuf
 	for _, d := range c.dests {
-		path, ok := pl.PathTo(d.machine)
+		var ok bool
+		path, ok = pl.AppendPathTo(path[:0], d.machine)
 		if !ok {
+			p.hops, p.pathBuf = hops, path
 			return fmt.Errorf("core: no path for item %d to machine %d", item, d.machine)
 		}
 		for _, h := range path {
@@ -609,6 +807,7 @@ func (p *planner) commitTree(item model.ItemID, c *candidate) error {
 			}
 		}
 	}
+	p.hops, p.pathBuf = hops, path
 	// Parents always start (strictly) before their children finish, and a
 	// hop starts no earlier than its parent's arrival, so start order is a
 	// valid commit order.

@@ -1,0 +1,264 @@
+package dijkstra
+
+import (
+	"time"
+
+	"datastaging/internal/model"
+	"datastaging/internal/simtime"
+	"datastaging/internal/state"
+)
+
+// durMemo caches the last TransferDuration evaluation for one item's
+// computation. Links within a physical group (and usually across a whole
+// scenario) repeat the same (bandwidth, latency) pair, and the duration of
+// a fixed-size item over such a pair is a pure function, so the innermost
+// relax loop can skip the div/round sequence almost every time. A zero
+// memo is ready to use: no real link has zero bandwidth (validation
+// rejects it), so the first call always misses.
+type durMemo struct {
+	bps int64
+	lat time.Duration
+	dur time.Duration
+}
+
+func (m *durMemo) transferDuration(l *model.VirtualLink, size int64) time.Duration {
+	if l.BandwidthBPS != m.bps || l.Latency != m.lat {
+		m.bps, m.lat = l.BandwidthBPS, l.Latency
+		m.dur = l.TransferDuration(size)
+	}
+	return m.dur
+}
+
+// batchEntry is one tentative label in the merged priority queue of a
+// batched computation: lane i is the i-th item's forest. Ordering is
+// (at, lane, machine); restricted to one lane that is exactly the serial
+// heap's (at, machine) order, so each lane's pop sequence — and therefore
+// its forest — is bit-identical to a serial Compute (lanes never read each
+// other's labels, and the state is read-only during the batch).
+type batchEntry struct {
+	at      simtime.Instant
+	lane    int32
+	machine model.MachineID
+}
+
+func batchEntryLess(a, b batchEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.lane != b.lane {
+		return a.lane < b.lane
+	}
+	return a.machine < b.machine
+}
+
+// lane is the per-item working set of one forest inside a batch.
+type lane struct {
+	plan    *Plan
+	size    int64
+	holdEnd []simtime.Instant
+	done    []bool
+	dm      durMemo
+}
+
+// BatchScratch is the reusable working memory of ComputeBatch: per-lane
+// label slabs, the merged priority queue, and the private slot cursors.
+// Like Scratch, it is owned by exactly one goroutine at a time and can
+// back any number of sequential batches without reallocating.
+type BatchScratch struct {
+	lanes    []lane
+	pq       []batchEntry
+	cur      state.SlotCursors
+	holdSlab []simtime.Instant
+	doneSlab []bool
+	stats    ScratchStats
+	batches  int
+}
+
+// NewBatchScratch returns an empty BatchScratch; buffers grow on first use.
+func NewBatchScratch() *BatchScratch { return &BatchScratch{} }
+
+// Stats returns the scratch's lifetime counters. Computes counts forests
+// (one per item per batch), so the planner's differential accounting is
+// identical whether forests came from Compute or ComputeBatch.
+func (s *BatchScratch) Stats() ScratchStats { return s.stats }
+
+// Batches returns how many ComputeBatch calls this scratch has served.
+func (s *BatchScratch) Batches() int { return s.batches }
+
+// ComputeBatch computes the shortest-path forest of every listed item in
+// one merged relaxation walk and returns plans[i] filled for items[i]. A
+// nil plans[i] is replaced; a non-nil one is recycled exactly as
+// Scratch.Compute recycles its reuse argument. len(plans) must equal
+// len(items). The state is only read.
+//
+// Why a merged walk: the global pop order is ascending in arrival time, so
+// every slot query against a given link (or port pair) is issued with a
+// non-decreasing ready time across ALL lanes, not just within one. The
+// batch's private cursors (state.SlotCursors) therefore stay valid from
+// lane to lane and each timeline is walked once end to end per batch
+// instead of once per (forest, link) — the k-fold re-walk that serial
+// recomputation of k invalidated forests pays. Correctness never depends
+// on the cursors (a stale one falls back to the indexed search), and the
+// forests are bit-identical to k serial Compute calls; see batchEntry.
+func (s *BatchScratch) ComputeBatch(st *state.State, items []model.ItemID, plans []*Plan) {
+	if len(items) != len(plans) {
+		panic("dijkstra: ComputeBatch items/plans length mismatch")
+	}
+	k := len(items)
+	if k == 0 {
+		return
+	}
+	sc := st.Scenario()
+	net := sc.Network
+	m := net.NumMachines()
+	floor := st.Floor()
+
+	s.batches++
+	s.stats.Computes += k
+	if cap(s.holdSlab) < k*m {
+		s.stats.Grows++
+	}
+	s.lanes = growSlice(s.lanes, k)
+	s.holdSlab = growSlice(s.holdSlab, k*m)
+	s.doneSlab = growSlice(s.doneSlab, k*m)
+	s.pq = s.pq[:0]
+	if cap(s.pq) < k*m {
+		// The merged frontier peaks near one entry per (forest, machine);
+		// reserving it up front keeps the push path free of grow-copies
+		// on a cold scratch.
+		s.pq = make([]batchEntry, 0, k*m)
+	}
+	st.ResetSlotCursors(&s.cur)
+
+	for i := range s.lanes {
+		ln := &s.lanes[i]
+		item := items[i]
+		p := plans[i]
+		if p == nil {
+			p = &Plan{}
+			plans[i] = p
+		}
+		p.Item = item
+		p.CapBlocked = false
+		p.Arrival = growSlice(p.Arrival, m)
+		p.Pred = growSlice(p.Pred, m)
+		p.Via = growSlice(p.Via, m)
+		p.Start = growSlice(p.Start, m)
+		p.Dur = growSlice(p.Dur, m)
+		ln.plan = p
+		ln.size = sc.Item(item).SizeBytes
+		ln.holdEnd = s.holdSlab[i*m : (i+1)*m]
+		ln.done = s.doneSlab[i*m : (i+1)*m]
+		ln.dm = durMemo{}
+		for u := range p.Arrival {
+			p.Arrival[u] = simtime.Never
+			p.Pred[u] = NoMachine
+			p.Via[u] = NoLink
+			ln.done[u] = false
+		}
+		for _, h := range st.Holders(item) {
+			p.Arrival[h.Machine] = h.Avail
+			ln.holdEnd[h.Machine] = h.End
+			s.push(batchEntry{at: h.Avail, lane: int32(i), machine: h.Machine})
+		}
+	}
+
+	for len(s.pq) > 0 {
+		e := s.pop()
+		ln := &s.lanes[e.lane]
+		p := ln.plan
+		done := ln.done
+		u := e.machine
+		if done[u] || e.at != p.Arrival[u] {
+			continue // stale entry
+		}
+		done[u] = true
+		ready := simtime.MaxInstant(e.at, floor)
+		endU := ln.holdEnd[u]
+		for _, g := range st.PhysGroups(u) {
+			v := g.To
+			if done[v] || (p.Arrival[v] != simtime.Never && p.Pred[v] == NoMachine) {
+				continue
+			}
+			for _, id := range g.Links {
+				l := net.Link(id)
+				if l.Window.Start >= endU || l.Window.Start >= p.Arrival[v] {
+					break
+				}
+				d := ln.dm.transferDuration(l, ln.size)
+				slot, ok := st.EarliestTransferSlotCursors(&s.cur, id, ready, d)
+				if !ok {
+					continue
+				}
+				arrival := slot.Add(d)
+				if arrival > endU {
+					continue
+				}
+				if arrival >= p.Arrival[v] {
+					continue
+				}
+				hold := st.HoldInterval(p.Item, v, arrival)
+				if !st.Capacity(v).CanReserve(ln.size, hold) {
+					p.CapBlocked = true
+					continue
+				}
+				p.Arrival[v] = arrival
+				p.Pred[v] = u
+				p.Via[v] = id
+				p.Start[v] = slot
+				p.Dur[v] = d
+				ln.holdEnd[v] = hold.End
+				s.push(batchEntry{at: arrival, lane: e.lane, machine: v})
+			}
+		}
+	}
+	// Drop plan pointers so recycled lanes don't pin dead plans alive.
+	for i := range s.lanes {
+		s.lanes[i].plan = nil
+	}
+}
+
+// push and pop mirror Scratch's hand-rolled binary min-heap for the merged
+// queue; see the comment there for why container/heap is avoided.
+func (s *BatchScratch) push(e batchEntry) {
+	h := append(s.pq, e)
+	if len(h) > s.stats.HeapHighWater {
+		s.stats.HeapHighWater = len(h)
+	}
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !batchEntryLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	s.pq = h
+}
+
+func (s *BatchScratch) pop() batchEntry {
+	h := s.pq
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && batchEntryLess(h[r], h[l]) {
+			least = r
+		}
+		if !batchEntryLess(h[least], h[i]) {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	s.pq = h
+	return top
+}

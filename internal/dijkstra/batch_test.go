@@ -1,0 +1,162 @@
+package dijkstra_test
+
+import (
+	"testing"
+	"time"
+
+	"datastaging/internal/dijkstra"
+	"datastaging/internal/gen"
+	"datastaging/internal/model"
+	"datastaging/internal/simtime"
+	"datastaging/internal/state"
+)
+
+func batchParams() gen.Params {
+	p := gen.Default()
+	p.Machines = gen.IntRange{Min: 4, Max: 8}
+	p.RequestsPerMachine = gen.IntRange{Min: 2, Max: 6}
+	return p
+}
+
+// batchAgainstSerial computes every item's forest twice — once per serial
+// Compute, once through a single ComputeBatch over all items — and fails
+// unless the forests are bit-identical, CapBlocked flags included.
+func batchAgainstSerial(t *testing.T, seed int64, st *state.State, bs *dijkstra.BatchScratch, plans []*dijkstra.Plan) []*dijkstra.Plan {
+	t.Helper()
+	sc := st.Scenario()
+	items := make([]model.ItemID, len(sc.Items))
+	for i := range items {
+		items[i] = model.ItemID(i)
+	}
+	if plans == nil {
+		plans = make([]*dijkstra.Plan, len(items))
+	}
+	bs.ComputeBatch(st, items, plans)
+	for i, id := range items {
+		fresh := dijkstra.Compute(st, id)
+		assertPlansEqual(t, seed, id, plans[i], fresh)
+		if plans[i].CapBlocked != fresh.CapBlocked {
+			t.Fatalf("seed %d item %d: batched CapBlocked %v, serial %v",
+				seed, id, plans[i].CapBlocked, fresh.CapBlocked)
+		}
+	}
+	return plans
+}
+
+// commitSome mutates the state by committing the first hop of up to n
+// reachable plans, fragmenting link and port timelines so subsequent
+// batches run against dirty cursor territory.
+func commitSome(t *testing.T, st *state.State, plans []*dijkstra.Plan, n int) {
+	t.Helper()
+	committed := 0
+	for _, p := range plans {
+		if committed >= n {
+			return
+		}
+		for m := 0; m < len(p.Arrival) && committed < n; m++ {
+			mid := model.MachineID(m)
+			h, ok := p.FirstHopTo(mid)
+			if !ok {
+				continue
+			}
+			if _, err := st.Commit(p.Item, h.Link, h.Start); err == nil {
+				committed++
+			}
+			break // plans are stale after a commit; move to the next item
+		}
+	}
+}
+
+// TestBatchComputeMatchesSerial is the tentpole's differential oracle: on
+// random scenarios, one merged batch over every item must produce forests
+// bit-identical to serial recomputation — on a fresh state, after commits
+// have fragmented the timelines, and after the planning floor advanced —
+// with the same BatchScratch and plan set recycled throughout.
+func TestBatchComputeMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		sc := gen.MustGenerate(batchParams(), seed)
+		st := state.New(sc)
+		bs := dijkstra.NewBatchScratch()
+		plans := batchAgainstSerial(t, seed, st, bs, nil)
+		commitSome(t, st, plans, 3)
+		plans = batchAgainstSerial(t, seed, st, bs, plans)
+		st.SetFloor(simtime.At(30 * time.Minute))
+		plans = batchAgainstSerial(t, seed, st, bs, plans)
+		commitSome(t, st, plans, 2)
+		batchAgainstSerial(t, seed, st, bs, plans)
+	}
+}
+
+// TestBatchComputeStats pins the accounting contract the planner's
+// differential stats depend on: a batch of k items counts k Computes (so
+// DijkstraRuns is path-independent), one batch, and at most one grow per
+// slab sizing.
+func TestBatchComputeStats(t *testing.T) {
+	sc := gen.MustGenerate(batchParams(), 3)
+	st := state.New(sc)
+	bs := dijkstra.NewBatchScratch()
+	items := make([]model.ItemID, len(sc.Items))
+	for i := range items {
+		items[i] = model.ItemID(i)
+	}
+	plans := make([]*dijkstra.Plan, len(items))
+	const rounds = 4
+	for r := 0; r < rounds; r++ {
+		bs.ComputeBatch(st, items, plans)
+	}
+	stats := bs.Stats()
+	if stats.Computes != rounds*len(items) {
+		t.Errorf("Computes = %d, want %d", stats.Computes, rounds*len(items))
+	}
+	if stats.Grows != 1 {
+		t.Errorf("Grows = %d, want 1 (slabs recycle across batches)", stats.Grows)
+	}
+	if bs.Batches() != rounds {
+		t.Errorf("Batches = %d, want %d", bs.Batches(), rounds)
+	}
+	if stats.HeapHighWater == 0 {
+		t.Error("HeapHighWater = 0 after non-trivial batches")
+	}
+}
+
+// TestBatchComputeZeroAllocs gates the admission fast path: once slabs and
+// plans are warm, a whole batch must not allocate.
+func TestBatchComputeZeroAllocs(t *testing.T) {
+	sc := gen.MustGenerate(batchParams(), 5)
+	st := state.New(sc)
+	bs := dijkstra.NewBatchScratch()
+	items := make([]model.ItemID, len(sc.Items))
+	for i := range items {
+		items[i] = model.ItemID(i)
+	}
+	plans := make([]*dijkstra.Plan, len(items))
+	bs.ComputeBatch(st, items, plans) // warm slabs and plans
+	allocs := testing.AllocsPerRun(20, func() {
+		bs.ComputeBatch(st, items, plans)
+	})
+	if allocs != 0 {
+		t.Errorf("warm ComputeBatch allocated %.1f times per batch, want 0", allocs)
+	}
+}
+
+// FuzzBatchComputeEquivalence drives the batched kernel against serial
+// Compute on fuzzer-chosen scenarios, floors, and commit interleavings.
+// Any divergence in any label, hop, or CapBlocked flag is a crash.
+func FuzzBatchComputeEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint16(0))
+	f.Add(int64(42), uint8(3), uint16(1800))
+	f.Add(int64(7), uint8(7), uint16(60))
+	f.Fuzz(func(t *testing.T, seed int64, commits uint8, floorMin uint16) {
+		sc, err := gen.Generate(batchParams(), seed%100000)
+		if err != nil {
+			t.Skip()
+		}
+		st := state.New(sc)
+		bs := dijkstra.NewBatchScratch()
+		plans := batchAgainstSerial(t, seed, st, bs, nil)
+		commitSome(t, st, plans, int(commits%8))
+		plans = batchAgainstSerial(t, seed, st, bs, plans)
+		st.SetFloor(simtime.At(time.Duration(floorMin) * time.Minute))
+		batchAgainstSerial(t, seed, st, bs, plans)
+	})
+}

@@ -163,6 +163,7 @@ func (s *Scratch) Compute(st *state.State, item model.ItemID, reuse *Plan) *Plan
 	s.done = growSlice(s.done, m)
 	s.pq = s.pq[:0]
 	holdEnd, done := s.holdEnd, s.done
+	var dm durMemo
 
 	for u := range p.Arrival {
 		p.Arrival[u] = simtime.Never
@@ -188,7 +189,11 @@ func (s *Scratch) Compute(st *state.State, item model.ItemID, reuse *Plan) *Plan
 		endU := holdEnd[u]
 		for _, g := range st.PhysGroups(u) {
 			v := g.To
-			if done[v] || st.Holds(item, v) {
+			// Roots are exactly the machines holding the item (Pred stays
+			// NoMachine and this guard keeps it that way), so the root test
+			// is st.Holds answered from the labels — two array reads on the
+			// innermost loop instead of a holder-list lookup.
+			if done[v] || (p.Arrival[v] != simtime.Never && p.Pred[v] == NoMachine) {
 				continue
 			}
 			for _, id := range g.Links {
@@ -199,7 +204,7 @@ func (s *Scratch) Compute(st *state.State, item model.ItemID, reuse *Plan) *Plan
 				if l.Window.Start >= endU || l.Window.Start >= p.Arrival[v] {
 					break
 				}
-				d := l.TransferDuration(size)
+				d := dm.transferDuration(l, size)
 				slot, ok := st.EarliestTransferSlot(id, ready, d)
 				if !ok {
 					continue
@@ -273,20 +278,36 @@ func (p *Plan) IsRoot(m model.MachineID) bool {
 // order. It returns (nil, true) when m already holds the item and
 // (nil, false) when m is unreachable.
 func (p *Plan) PathTo(m model.MachineID) ([]Hop, bool) {
+	hops, ok := p.AppendPathTo(nil, m)
+	if len(hops) == 0 {
+		return nil, ok
+	}
+	return hops, ok
+}
+
+// AppendPathTo appends the hops from the root holder to machine m onto dst
+// in planned order and returns the extended slice. ok is false when m is
+// unreachable; a machine already holding the item appends nothing. Hot
+// paths keep a reusable dst so path extraction never allocates.
+func (p *Plan) AppendPathTo(dst []Hop, m model.MachineID) (_ []Hop, ok bool) {
 	if !p.Reachable(m) {
-		return nil, false
+		return dst, false
 	}
 	n := 0
 	for v := m; p.Pred[v] != NoMachine; v = p.Pred[v] {
 		n++
 	}
-	if n == 0 {
-		return nil, true
+	base := len(dst)
+	if cap(dst)-base < n {
+		grown := make([]Hop, base, base+n)
+		copy(grown, dst)
+		dst = grown
 	}
-	hops := make([]Hop, n)
+	dst = dst[:base+n]
+	i := base + n
 	for v := m; p.Pred[v] != NoMachine; v = p.Pred[v] {
-		n--
-		hops[n] = Hop{
+		i--
+		dst[i] = Hop{
 			Link:  p.Via[v],
 			From:  p.Pred[v],
 			To:    v,
@@ -294,7 +315,7 @@ func (p *Plan) PathTo(m model.MachineID) ([]Hop, bool) {
 			Dur:   p.Dur[v],
 		}
 	}
-	return hops, true
+	return dst, true
 }
 
 // FirstHopTo returns the first transfer on the planned path to machine m:

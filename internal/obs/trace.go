@@ -45,6 +45,11 @@ const (
 	// epoch instant (ns), N the transfers newly aborted by this epoch's
 	// event batch.
 	EvEpochReplan
+	// EvRelaxBatch is one merged-relaxation walk (dijkstra.ComputeBatch):
+	// N is the number of forests relaxed together in the walk. A parallel
+	// prefetch emits one per worker chunk; a serial prefetch emits one per
+	// iteration-top batch.
+	EvRelaxBatch
 )
 
 var eventKindNames = map[EventKind]string{
@@ -57,6 +62,7 @@ var eventKindNames = map[EventKind]string{
 	EvRequestSatisfied:  "request_satisfied",
 	EvItemDead:          "item_dead",
 	EvEpochReplan:       "epoch_replan",
+	EvRelaxBatch:        "relax_batch",
 }
 
 // String returns the snake_case event name used in JSONL traces.

@@ -49,6 +49,17 @@ type Capacity struct {
 	dirty atomic.Bool
 	mu    sync.Mutex
 
+	// minEver caches the minimum availability over the entire timeline:
+	// the fast accept for CanReserve, where any amount at or below it
+	// fits on every interval without a range query. Rebuilt lazily (one
+	// O(n) scan after a mutation, amortized over the many feasibility
+	// probes between commits) under the same mutations-never-race-queries
+	// contract as idx: a reader touches minEver only after observing
+	// minEverDirty == false, which orders it after the scan that cleared
+	// the flag.
+	minEver      int64
+	minEverDirty atomic.Bool
+
 	// dirtyFrom is the lowest segment index a mutation has touched since
 	// the last index rebuild (len(segs) when the index is clean). Segment
 	// indices below it are byte-identical to what the last rebuild saw —
@@ -77,6 +88,7 @@ const minIndexCutoff = 32
 func NewCapacity(total int64) *Capacity {
 	c := &Capacity{segs: []capSegment{{start: simtime.Instant(math.MinInt64), avail: total}}}
 	c.dirty.Store(true)
+	c.minEverDirty.Store(true)
 	return c
 }
 
@@ -140,6 +152,7 @@ func (c *Capacity) ensureIndex() {
 // markDirty records that segment indices >= i may have changed since the
 // last rebuild.
 func (c *Capacity) markDirty(i int) {
+	c.minEverDirty.Store(true)
 	if !c.dirty.Load() {
 		c.dirtyFrom = i
 		c.dirty.Store(true)
@@ -246,7 +259,31 @@ func (c *Capacity) AvailableAt(t simtime.Instant) int64 {
 
 // CanReserve reports whether amount bytes are available over all of iv.
 func (c *Capacity) CanReserve(amount int64, iv simtime.Interval) bool {
+	if amount <= c.MinEver() {
+		return true // fits at the profile's all-time low, so on any interval
+	}
 	return c.MinAvailable(iv) >= amount
+}
+
+// MinEver returns the minimum available bytes over the entire timeline —
+// the strongest interval-independent guarantee the profile can give. The
+// value is cached across queries and rescanned only after a mutation.
+func (c *Capacity) MinEver() int64 {
+	if c.minEverDirty.Load() {
+		c.mu.Lock()
+		if c.minEverDirty.Load() {
+			m := c.segs[0].avail
+			for _, s := range c.segs[1:] {
+				if s.avail < m {
+					m = s.avail
+				}
+			}
+			c.minEver = m
+			c.minEverDirty.Store(false)
+		}
+		c.mu.Unlock()
+	}
+	return c.minEver
 }
 
 // Reserve decrements the available capacity by amount over iv. It fails
@@ -337,6 +374,7 @@ func (c *Capacity) Clone() *Capacity {
 	copy(segs, c.segs)
 	out := &Capacity{segs: segs}
 	out.dirty.Store(true)
+	out.minEverDirty.Store(true)
 	return out
 }
 

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -102,6 +103,58 @@ func BenchmarkServeSoak(b *testing.B) {
 			}
 		})
 	}
+}
+
+var benchSink atomic.Int64
+
+// BenchmarkServeRead measures the monitoring pattern: parallel readers
+// polling Schedule and Info (the /v1/schedule and /v1/info endpoints) while
+// a background goroutine keeps flushing admission epochs. Reads load the
+// atomically-published world snapshot instead of taking the engine mutex,
+// so poll latency stays flat no matter how heavy the concurrent epochs are
+// — before the snapshot layer every poll serialized behind replanning.
+func BenchmarkServeRead(b *testing.B) {
+	eng := benchNet()()
+	for j := 0; j < 64; j++ {
+		if _, err := eng.Submit(benchSub(j)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := eng.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { // admission load: one epoch per submission until stopped
+		defer close(done)
+		for j := 64; ; j++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := eng.Submit(benchSub(j)); err != nil {
+				return
+			}
+			if err := eng.Flush(); err != nil {
+				return
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.SetParallelism(8)
+	b.RunParallel(func(pb *testing.PB) {
+		n := 0
+		for pb.Next() {
+			v := eng.Schedule()
+			in := eng.Info()
+			n += len(v.Transfers) + in.Queue
+		}
+		benchSink.Add(int64(n))
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
 }
 
 // BenchmarkServeAdmission measures one admission epoch of 32 submissions:

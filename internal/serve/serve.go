@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"datastaging/internal/core"
@@ -187,16 +188,69 @@ type Engine struct {
 	tickets   map[string]*Ticket
 	preempted map[model.RequestID]bool
 	nextID    int
-	vnow      simtime.Instant // virtual-clock current instant
 	epochs    int
 	lastEpoch simtime.Instant
 	oldest    time.Time // wall enqueue time of the oldest pending submission
-	draining  bool
-	fatal     error // first replan failure; the engine wedges closed
+	fatal     error     // first replan failure; the engine wedges closed
+
+	// totalReqs is the request count across every item the engine has ever
+	// seen (base scenario plus all flushed submissions), maintained
+	// incrementally so publishing a snapshot never walks the item list.
+	totalReqs int
+	// Incremental weighted-objective tracker: satValue is the weighted sum
+	// over the first satConsumed entries of satState's satisfaction log.
+	// weightedValueLocked folds in only the log suffix each call and
+	// restarts from zero when the dynamic engine swapped in a rebuilt
+	// state (full replay), whose fresh log re-derives the whole sum.
+	satState    *state.State
+	satConsumed int
+	satValue    float64
+
+	// Read-side state, loaded lock-free by Schedule, Info, and Now so
+	// heavy polling never contends with admission. snap is the immutable
+	// world published at the end of every epoch; the scalars move outside
+	// epochs too (intake, clock, drain).
+	snap     atomic.Pointer[worldSnap]
+	qdepth   atomic.Int64
+	vnow     atomic.Int64 // virtual-clock current instant (simtime.Instant)
+	draining atomic.Bool
 
 	kick    chan struct{} // wall loop wakeup
 	drainCh chan struct{}
 	stopped chan struct{} // wall loop exited
+}
+
+// worldSnap is one consistent, immutable view of the committed world,
+// published with an atomic pointer swap at the end of every admission epoch
+// (and once at construction). Readers observe bounded staleness: while an
+// epoch is in flight they see the previous epoch's world, never a torn
+// intermediate.
+type worldSnap struct {
+	epochs        int
+	items         int
+	totalReqs     int
+	satisfied     int
+	weightedValue float64
+	// transfers is a cap-clamped window of the committed history. The
+	// dynamic engine only ever appends beyond this window's length (or
+	// swaps in a freshly-built slice on history rewrites), so the window's
+	// contents never change after publication.
+	transfers []state.Transfer
+}
+
+// publishLocked snapshots the current world and swaps it in for readers.
+// Call with e.mu held (New calls it before the engine escapes, which is
+// just as exclusive).
+func (e *Engine) publishLocked() {
+	trs := e.dyn.Transfers()
+	e.snap.Store(&worldSnap{
+		epochs:        e.epochs,
+		items:         len(e.sc.Items),
+		totalReqs:     e.totalReqs,
+		satisfied:     len(e.dyn.Satisfied()),
+		weightedValue: e.weightedValueLocked(),
+		transfers:     trs[:len(trs):len(trs)],
+	})
 }
 
 // New builds an engine over a base scenario, which contributes the network,
@@ -244,6 +298,8 @@ func New(base *scenario.Scenario, opts Options) (*Engine, error) {
 	e.hBatch = e.o.Histogram("serve.batch_size", []float64{1, 2, 4, 8, 16, 32, 64, 128})
 	e.epochTimer = e.o.Phase("serve.epoch")
 	e.intro.SetPhase("idle")
+	e.totalReqs = (&e.sc).NumRequests()
+	e.publishLocked() // epoch-zero world for readers that poll before the first flush
 
 	if opts.VirtualClock {
 		close(e.stopped) // no background loop to wait for
@@ -253,14 +309,13 @@ func New(base *scenario.Scenario, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// Now returns the engine's current simulated instant.
+// Now returns the engine's current simulated instant. Lock-free: the
+// virtual clock is an atomic, wall time is arithmetic on immutable fields.
 func (e *Engine) Now() simtime.Instant {
 	if !e.opts.VirtualClock {
 		return e.wallNow()
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.vnow
+	return simtime.Instant(e.vnow.Load())
 }
 
 func (e *Engine) wallNow() simtime.Instant {
@@ -269,7 +324,7 @@ func (e *Engine) wallNow() simtime.Instant {
 
 func (e *Engine) nowLocked() simtime.Instant {
 	if e.opts.VirtualClock {
-		return e.vnow
+		return simtime.Instant(e.vnow.Load())
 	}
 	return e.wallNow()
 }
@@ -284,7 +339,7 @@ func (e *Engine) Submit(sub Submission) (*Ticket, error) {
 		return nil, err
 	}
 	e.mu.Lock()
-	if e.draining || e.fatal != nil {
+	if e.draining.Load() || e.fatal != nil {
 		e.mu.Unlock()
 		return nil, ErrDraining
 	}
@@ -309,8 +364,9 @@ func (e *Engine) Submit(sub Submission) (*Ticket, error) {
 	e.queue = append(e.queue, t)
 	e.tickets[t.id] = t
 	e.gQueue.Set(float64(len(e.queue)))
+	e.qdepth.Store(int64(len(e.queue)))
 	if e.opts.VirtualClock && len(e.queue) >= e.opts.MaxBatch {
-		e.flushLocked(e.vnow)
+		e.flushLocked(e.nowLocked())
 	}
 	e.mu.Unlock()
 	if !e.opts.VirtualClock {
@@ -348,11 +404,12 @@ func (e *Engine) Advance(to simtime.Instant) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if to.Before(e.vnow) {
-		return fmt.Errorf("serve: cannot advance backwards (%v < %v)", to, e.vnow)
+	now := simtime.Instant(e.vnow.Load())
+	if to.Before(now) {
+		return fmt.Errorf("serve: cannot advance backwards (%v < %v)", to, now)
 	}
-	e.flushLocked(e.vnow)
-	e.vnow = to
+	e.flushLocked(now)
+	e.vnow.Store(int64(to))
 	return e.fatal
 }
 
@@ -371,7 +428,7 @@ func (e *Engine) Flush() error {
 // accessors remain usable.
 func (e *Engine) Drain(ctx context.Context) error {
 	e.mu.Lock()
-	if e.draining {
+	if e.draining.Load() {
 		e.mu.Unlock()
 		select {
 		case <-e.stopped:
@@ -380,9 +437,9 @@ func (e *Engine) Drain(ctx context.Context) error {
 			return ctx.Err()
 		}
 	}
-	e.draining = true
+	e.draining.Store(true)
 	if e.opts.VirtualClock {
-		e.flushLocked(e.vnow)
+		e.flushLocked(e.nowLocked())
 		e.mu.Unlock()
 		return e.fatal
 	}
@@ -456,6 +513,7 @@ func (e *Engine) flushLocked(at simtime.Instant) {
 	batch := e.queue
 	e.queue = nil
 	e.gQueue.Set(0)
+	e.qdepth.Store(0)
 	span := e.epochTimer.Start()
 	e.epochs++
 	e.mEpochs.Inc()
@@ -468,6 +526,7 @@ func (e *Engine) flushLocked(at simtime.Instant) {
 		t.item = id
 		t.epoch = at
 		e.sc.Items = append(e.sc.Items, t.sub.item(id))
+		e.totalReqs += len(t.sub.Requests)
 	}
 	// The engine holds &e.sc, so this is the trusted same-pointer path;
 	// an error can only mean the append-only contract broke, which wedges
@@ -491,6 +550,7 @@ func (e *Engine) flushLocked(at simtime.Instant) {
 		}
 	}
 	e.settleLocked(batch)
+	e.publishLocked()
 	for _, t := range batch {
 		e.flushed = append(e.flushed, t)
 		if !t.resolved {
@@ -549,6 +609,7 @@ func (e *Engine) failLocked(err error, batch []*Ticket) {
 			close(t.done)
 		}
 	}
+	e.publishLocked()
 }
 
 // preemptLocked attempts to displace not-yet-started transfers of strictly
@@ -611,12 +672,26 @@ func (e *Engine) itemMaxPriorityLocked(item model.ItemID) int {
 	return max
 }
 
+// weightedValueLocked returns the weighted objective over every satisfied
+// request. Incremental: the state's satisfaction log is append-only, so each
+// call folds in only the suffix past what the tracker already summed. A
+// full-replay epoch swaps in a rebuilt state whose fresh log re-derives the
+// sum from scratch (the state pointer is the generation tag), which is what
+// keeps preemption's before/after comparisons correct across rollbacks.
 func (e *Engine) weightedValueLocked() float64 {
-	var sum float64
-	for id := range e.dyn.Satisfied() {
-		sum += e.opts.Config.Weights.Of((&e.sc).Request(id).Priority)
+	st := e.dyn.State()
+	if st == nil {
+		return 0
 	}
-	return sum
+	log := st.SatisfiedLog()
+	if st != e.satState || len(log) < e.satConsumed {
+		e.satState, e.satConsumed, e.satValue = st, 0, 0
+	}
+	for _, id := range log[e.satConsumed:] {
+		e.satValue += e.opts.Config.Weights.Of((&e.sc).Request(id).Priority)
+	}
+	e.satConsumed = len(log)
+	return e.satValue
 }
 
 // settleLocked refreshes ticket verdicts against the current satisfaction
@@ -776,38 +851,41 @@ func (e *Engine) TicketView(id string) (TicketView, bool) {
 }
 
 // Schedule returns a snapshot of the committed schedule and objective.
+// Lock-free: it reads the world published by the last completed epoch, so
+// pollers never contend with admission. During an in-flight epoch the view
+// is the previous epoch's — consistent, at most one epoch stale.
 func (e *Engine) Schedule() ScheduleView {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	s := e.snap.Load()
 	v := ScheduleView{
-		Now:           Instant(e.nowLocked()),
-		Epochs:        e.epochs,
-		Items:         len(e.sc.Items),
-		TotalRequests: (&e.sc).NumRequests(),
-		Satisfied:     len(e.dyn.Satisfied()),
-		WeightedValue: e.weightedValueLocked(),
+		Now:           Instant(e.Now()),
+		Epochs:        s.epochs,
+		Items:         s.items,
+		TotalRequests: s.totalReqs,
+		Satisfied:     s.satisfied,
+		WeightedValue: s.weightedValue,
 	}
-	v.Transfers = append(v.Transfers, e.dyn.Transfers()...)
+	v.Transfers = append(v.Transfers, s.transfers...)
 	return v
 }
 
 // Info describes the service for clients (notably the load generator).
+// Lock-free: static fields are immutable after New, the rest come from the
+// published snapshot and the intake/clock/drain atomics.
 func (e *Engine) Info() Info {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	s := e.snap.Load()
 	return Info{
 		Scenario:  e.sc.Name,
 		Machines:  e.sc.Network.NumMachines(),
 		Links:     len(e.sc.Network.Links),
-		Items:     len(e.sc.Items),
+		Items:     s.items,
 		Horizon:   Instant(e.sc.Horizon),
-		Now:       Instant(e.nowLocked()),
-		Queue:     len(e.queue),
+		Now:       Instant(e.Now()),
+		Queue:     int(e.qdepth.Load()),
 		QueueCap:  e.opts.QueueCap,
 		MaxBatch:  e.opts.MaxBatch,
 		Virtual:   e.opts.VirtualClock,
 		Scheduler: fmt.Sprintf("%v/%v", e.opts.Config.Heuristic, e.opts.Config.Criterion),
-		Draining:  e.draining,
+		Draining:  e.draining.Load(),
 	}
 }
 

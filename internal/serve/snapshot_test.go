@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"datastaging/internal/simtime"
+)
+
+// TestSnapshotBoundedStaleness pins the read-side contract: Schedule and
+// Info observe the world published by the last completed admission epoch.
+// Queued-but-unflushed submissions are visible only as intake depth; the
+// committed schedule, item and request counts, and the objective all move
+// together, atomically, when the epoch flushes.
+func TestSnapshotBoundedStaleness(t *testing.T) {
+	eng := benchNet()()
+
+	before := eng.Schedule()
+	if before.Epochs != 0 || before.Items != 0 || before.TotalRequests != 0 ||
+		before.Satisfied != 0 || len(before.Transfers) != 0 {
+		t.Fatalf("epoch-zero snapshot not empty: %+v", before)
+	}
+
+	for j := 0; j < 3; j++ {
+		if _, err := eng.Submit(benchSub(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mid := eng.Schedule()
+	if mid.Epochs != 0 || mid.Items != 0 || mid.TotalRequests != 0 || len(mid.Transfers) != 0 {
+		t.Fatalf("queued submissions leaked into the snapshot before their epoch: %+v", mid)
+	}
+	if q := eng.Info().Queue; q != 3 {
+		t.Fatalf("Info.Queue = %d, want 3 pending", q)
+	}
+
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	after := eng.Schedule()
+	if after.Epochs != 1 || after.Items != 3 || after.TotalRequests != 3 {
+		t.Fatalf("post-flush snapshot wrong shape: %+v", after)
+	}
+	if after.Satisfied == 0 || after.WeightedValue <= 0 || len(after.Transfers) == 0 {
+		t.Fatalf("post-flush snapshot shows no admitted work: %+v", after)
+	}
+	if q := eng.Info().Queue; q != 0 {
+		t.Fatalf("Info.Queue = %d after flush, want 0", q)
+	}
+
+	if eng.Info().Draining {
+		t.Fatal("Draining before Drain")
+	}
+	if err := eng.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Info().Draining {
+		t.Fatal("Draining not visible after Drain")
+	}
+}
+
+// TestSnapshotConsistencyHammer is the race oracle for the lock-free read
+// path: 16 reader goroutines poll Schedule/Info/Now while the main goroutine
+// drives 50 admission epochs. Every read must be a consistent world — epoch
+// counts monotone per reader, item and request counts from the same publish
+// (each submission carries exactly one request, so they must always be
+// equal), transfers readable without tearing. Run under `make race`.
+func TestSnapshotConsistencyHammer(t *testing.T) {
+	eng := benchNet()()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lastEpoch := -1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := eng.Schedule()
+				if v.Epochs < lastEpoch {
+					t.Errorf("epochs went backwards: %d after %d", v.Epochs, lastEpoch)
+					return
+				}
+				lastEpoch = v.Epochs
+				if v.TotalRequests != v.Items {
+					t.Errorf("torn snapshot: %d requests, %d items (must match 1:1)",
+						v.TotalRequests, v.Items)
+					return
+				}
+				if v.Satisfied > v.TotalRequests {
+					t.Errorf("satisfied %d exceeds total %d", v.Satisfied, v.TotalRequests)
+					return
+				}
+				for i := range v.Transfers {
+					if v.Transfers[i].Arrival.Before(v.Transfers[i].Start) {
+						t.Errorf("transfer %d arrives before it starts", i)
+						return
+					}
+				}
+				in := eng.Info()
+				if in.Queue < 0 || in.Queue > 4 {
+					t.Errorf("intake depth %d out of range", in.Queue)
+					return
+				}
+				_ = eng.Now()
+				runtime.Gosched()
+			}
+		}()
+	}
+	for j := 0; j < 200; j++ {
+		if _, err := eng.Submit(benchSub(j)); err != nil {
+			t.Fatal(err)
+		}
+		if j%4 == 3 {
+			if err := eng.Advance(simtime.At(time.Duration(j) * 50 * time.Millisecond)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	final := eng.Schedule()
+	if final.Epochs != 50 || final.Items != 200 || final.TotalRequests != 200 {
+		t.Fatalf("final world wrong: %+v", final)
+	}
+}
+
+// TestReadPathAllocs gates the read endpoints' allocation budget: Now is
+// allocation-free, and Schedule/Info allocate only the caller-owned copies
+// (the transfer slice; Sprintf's scratch) — no per-call map walks or
+// re-derivations.
+func TestReadPathAllocs(t *testing.T) {
+	eng := benchNet()()
+	for j := 0; j < 8; j++ {
+		if _, err := eng.Submit(benchSub(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if a := testing.AllocsPerRun(100, func() { _ = eng.Now() }); a != 0 {
+		t.Errorf("Now allocates %.1f per call, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { _ = eng.Schedule() }); a > 3 {
+		t.Errorf("Schedule allocates %.1f per call, want <= 3", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { _ = eng.Info() }); a > 4 {
+		t.Errorf("Info allocates %.1f per call, want <= 4", a)
+	}
+}

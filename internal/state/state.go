@@ -51,14 +51,13 @@ type State struct {
 	sendPort []*resource.LinkTimeline
 	recvPort []*resource.LinkTimeline
 
-	// holders[i] lists the copies of item i sorted by machine; holderIdx
-	// provides O(1) membership.
-	holders   [][]Holder
-	holderIdx []map[model.MachineID]int
-
-	// destOf[i] is the set of requesting machines of item i, which hold
-	// delivered copies forever.
-	destOf []map[model.MachineID]bool
+	// holders[i] lists the copies of item i in the order they appeared
+	// (sources first, then staged copies in commit order). Membership tests
+	// scan the slice: a holder list is bounded by the item's staging route,
+	// a handful of machines, so a linear scan beats a per-item map — and,
+	// unlike a map, costs zero allocations to set up, which matters because
+	// the online service initializes items on the admission path.
+	holders [][]Holder
 
 	transfers []Transfer
 	// trOf[i] indexes transfers by item: the positions of item i's
@@ -66,6 +65,11 @@ type State struct {
 	// of a scan over the whole committed history.
 	trOf      [][]int32
 	satisfied map[model.RequestID]simtime.Instant
+	// satLog records satisfied requests in satisfaction order, append-only
+	// for the lifetime of the state. Incremental consumers (the serve
+	// layer's weighted-value tracker) remember how much of the log they
+	// have folded in and walk only the new suffix each epoch.
+	satLog []model.RequestID
 
 	// floor is the earliest instant new transfers may start; the dynamic
 	// simulator advances it to "now" so re-planning cannot rewrite the
@@ -106,8 +110,6 @@ func New(sc *scenario.Scenario) *State {
 		sc:        sc,
 		caps:      make([]*resource.Capacity, sc.Network.NumMachines()),
 		holders:   make([][]Holder, len(sc.Items)),
-		holderIdx: make([]map[model.MachineID]int, len(sc.Items)),
-		destOf:    make([]map[model.MachineID]bool, len(sc.Items)),
 		trOf:      make([][]int32, len(sc.Items)),
 		satisfied: make(map[model.RequestID]simtime.Instant),
 	}
@@ -137,15 +139,15 @@ func New(sc *scenario.Scenario) *State {
 	return st
 }
 
-// initItem sets up the per-item bookkeeping (holder index, destination set,
-// initial source copies) for item i of the scenario.
+// initItem sets up the per-item bookkeeping (the initial source copies) for
+// item i of the scenario.
 func (st *State) initItem(i int) {
 	it := &st.sc.Items[i]
-	st.holderIdx[i] = make(map[model.MachineID]int, len(it.Sources))
-	st.destOf[i] = make(map[model.MachineID]bool, len(it.Requests))
-	for _, rq := range it.Requests {
-		st.destOf[i][rq.Machine] = true
-	}
+	// Pre-size for the copies a typical schedule adds: the sources plus a
+	// few committed hops. Keeps the per-commit bookkeeping off the
+	// grow-reallocate path for the common item.
+	st.holders[i] = make([]Holder, 0, len(it.Sources)+4)
+	st.trOf[i] = make([]int32, 0, 4)
 	for _, src := range it.Sources {
 		st.addHolder(model.ItemID(i), Holder{
 			Machine: src.Machine,
@@ -171,8 +173,6 @@ func (st *State) GrowItems() int {
 	added := 0
 	for i := len(st.holders); i < n; i++ {
 		st.holders = append(st.holders, nil)
-		st.holderIdx = append(st.holderIdx, nil)
-		st.destOf = append(st.destOf, nil)
 		st.trOf = append(st.trOf, nil)
 		st.initItem(i)
 		added++
@@ -284,6 +284,69 @@ func (st *State) EarliestTransferSlot(id model.LinkID, ready simtime.Instant, d 
 		st.links[id].Free(), st.sendPort[l.From].Free(), st.recvPort[l.To].Free())
 }
 
+// SlotCursors is a private set of per-timeline cursor hints for one batched
+// relaxation walk: one cursor per virtual link plus, in serialized mode, one
+// per send and receive port. The batched Dijkstra kernel issues slot queries
+// with globally non-decreasing ready times across all the forests of an
+// epoch, so each timeline's cursor advances monotonically and the timeline
+// is walked once per batch instead of re-searched per query. The cursors are
+// caller-owned — nothing here touches the timelines' shared atomic hints —
+// so any number of batches with their own SlotCursors may run concurrently
+// against one State. The zero value is ready to use; Reset recycles the
+// backing arrays, so steady-state use allocates nothing.
+type SlotCursors struct {
+	link []int32
+	send []int32
+	recv []int32
+}
+
+// ResetSlotCursors sizes the cursors for this state's timelines and
+// invalidates every hint (the first query per timeline falls back to the
+// indexed search; later ones ride the cursor). Call once per batch — a
+// commit between batches moves free time, which the validity check would
+// catch anyway, but a fresh seed skips the doomed validations.
+func (st *State) ResetSlotCursors(c *SlotCursors) {
+	c.link = resetCursors(c.link, len(st.links))
+	if st.sendPort != nil {
+		c.send = resetCursors(c.send, len(st.sendPort))
+		c.recv = resetCursors(c.recv, len(st.recvPort))
+	}
+}
+
+func resetCursors(s []int32, n int) []int32 {
+	if cap(s) < n {
+		s = make([]int32, n)
+	} else {
+		s = s[:n]
+	}
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
+
+// EarliestTransferSlotCursors is EarliestTransferSlot with the query riding
+// the caller's SlotCursors instead of the timelines' shared hints. Results
+// are bit-identical for any cursor contents; only the search cost differs.
+func (st *State) EarliestTransferSlotCursors(c *SlotCursors, id model.LinkID, ready simtime.Instant, d time.Duration) (simtime.Instant, bool) {
+	st.mSlotQuery.Inc()
+	if st.sendPort == nil {
+		t, ok, hinted := st.links[id].EarliestSlotCursor(&c.link[id], ready, d)
+		if hinted {
+			st.mSlotFast.Inc()
+		}
+		return t, ok
+	}
+	st.mSlotFast.Inc() // the fused kernel never materializes a set
+	l := st.sc.Network.Link(id)
+	var cur [3]int32
+	cur[0], cur[1], cur[2] = c.link[id], c.send[l.From], c.recv[l.To]
+	t, ok, _ := simtime.EarliestFitNHint(ready, d, cur[:],
+		st.links[id].Free(), st.sendPort[l.From].Free(), st.recvPort[l.To].Free())
+	c.link[id], c.send[l.From], c.recv[l.To] = cur[0], cur[1], cur[2]
+	return t, ok
+}
+
 // earliestTransferSlotSlow is the pre-kernel reference implementation of
 // EarliestTransferSlot: in serialized mode it materializes the
 // intersection of the three availability sets (two intermediate Set
@@ -314,22 +377,33 @@ func (st *State) Holders(item model.ItemID) []Holder { return st.holders[item] }
 // Holds reports whether machine m has (or is scheduled to receive) a copy
 // of the item.
 func (st *State) Holds(item model.ItemID, m model.MachineID) bool {
-	_, ok := st.holderIdx[item][m]
-	return ok
+	for i := range st.holders[item] {
+		if st.holders[item][i].Machine == m {
+			return true
+		}
+	}
+	return false
 }
 
 // Holder returns machine m's copy of the item.
 func (st *State) Holder(item model.ItemID, m model.MachineID) (Holder, bool) {
-	idx, ok := st.holderIdx[item][m]
-	if !ok {
-		return Holder{}, false
+	for i := range st.holders[item] {
+		if st.holders[item][i].Machine == m {
+			return st.holders[item][i], true
+		}
 	}
-	return st.holders[item][idx], true
+	return Holder{}, false
 }
 
 // IsDestination reports whether m is a requesting machine of the item.
 func (st *State) IsDestination(item model.ItemID, m model.MachineID) bool {
-	return st.destOf[item][m]
+	rqs := st.sc.Item(item).Requests
+	for i := range rqs {
+		if rqs[i].Machine == m {
+			return true
+		}
+	}
+	return false
 }
 
 // HoldEnd returns when a copy of the item delivered to machine m would be
@@ -349,7 +423,6 @@ func (st *State) HoldInterval(item model.ItemID, m model.MachineID, arrival simt
 }
 
 func (st *State) addHolder(item model.ItemID, h Holder) {
-	st.holderIdx[item][h.Machine] = len(st.holders[item])
 	st.holders[item] = append(st.holders[item], h)
 }
 
@@ -419,6 +492,11 @@ func (st *State) Commit(item model.ItemID, link model.LinkID, start simtime.Inst
 		Item: item, Link: link, From: l.From, To: l.To,
 		Start: start, Duration: d, Arrival: arrival,
 	}
+	if st.transfers == nil {
+		// First booking: reserve room for a few transfers per item so the
+		// epoch's commits extend in place instead of re-copying the log.
+		st.transfers = make([]Transfer, 0, 4*len(st.sc.Items))
+	}
 	st.trOf[item] = append(st.trOf[item], int32(len(st.transfers)))
 	st.transfers = append(st.transfers, tr)
 
@@ -427,6 +505,7 @@ func (st *State) Commit(item model.ItemID, link model.LinkID, start simtime.Inst
 			id := model.RequestID{Item: item, Index: k}
 			if _, done := st.satisfied[id]; !done {
 				st.satisfied[id] = arrival
+				st.satLog = append(st.satLog, id)
 			}
 		}
 	}
@@ -506,3 +585,10 @@ func (st *State) IsSatisfied(id model.RequestID) bool {
 	_, ok := st.satisfied[id]
 	return ok
 }
+
+// SatisfiedLog returns every satisfied request in satisfaction order. The
+// slice is shared and append-only: entries once returned never change, so a
+// caller may remember an offset and later re-read only the suffix beyond it
+// (as long as it is reading the same State — a rebuilt state starts a fresh
+// log).
+func (st *State) SatisfiedLog() []model.RequestID { return st.satLog }

@@ -20,6 +20,10 @@
 #   BENCHTIME      go test -benchtime value (default 1s)
 #   BENCH          benchmark regexp (default all in the measured packages)
 #   ALLOW_MISSING  if set to 1, keep recorded benchmarks absent from this run
+#   MAX_REGRESS    fractional ns/op tolerance vs each frozen baseline
+#                  (e.g. 0.15); when set, benchjson exits nonzero after
+#                  writing the JSON if any measured benchmark regressed past
+#                  it — the CI guard against silent trajectory drift
 set -eu
 
 out=${1:-BENCH_core.json}
@@ -36,6 +40,9 @@ go test -run='^$' -bench="$bench" -benchmem -benchtime="$benchtime" $pkgs > "$tm
 flags=""
 if [ "${ALLOW_MISSING:-0}" = "1" ]; then
     flags="-allow-missing"
+fi
+if [ -n "${MAX_REGRESS:-}" ]; then
+    flags="$flags -max-regress ${MAX_REGRESS}"
 fi
 # shellcheck disable=SC2086
 go run ./scripts/benchjson -in "$tmp" -out "$out" $flags

@@ -50,14 +50,16 @@ func main() {
 	out := flag.String("out", "BENCH_core.json", "JSON file to write (existing baselines are preserved)")
 	allowMissing := flag.Bool("allow-missing", false,
 		"carry recorded benchmarks absent from this run forward unchanged instead of failing (partial -bench runs)")
+	maxRegress := flag.Float64("max-regress", 0,
+		"fail (after writing -out) if any benchmark's current ns/op exceeds its frozen baseline by more than this fraction, e.g. 0.15 = 15%; 0 disables")
 	flag.Parse()
-	if err := run(*in, *out, *allowMissing); err != nil {
+	if err := run(*in, *out, *allowMissing, *maxRegress); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(inPath, outPath string, allowMissing bool) error {
+func run(inPath, outPath string, allowMissing bool, maxRegress float64) error {
 	r := os.Stdin
 	if inPath != "" {
 		f, err := os.Open(inPath)
@@ -163,7 +165,44 @@ func run(inPath, outPath string, allowMissing bool) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return checkRegressions(out, current, baselines, maxRegress)
+}
+
+// checkRegressions fails when a benchmark measured this run is slower than
+// its frozen baseline by more than the allowed fraction. Only benchmarks
+// with a pre-existing baseline are judged — a first recording IS the
+// baseline — and records merely carried forward by -allow-missing are
+// skipped (their "current" is stale, not this run's). The check runs after
+// the output file is written, so the trajectory is on disk (and
+// inspectable in CI artifacts) even when the gate trips.
+func checkRegressions(out File, current, baselines map[string]Measurement, maxRegress float64) error {
+	if maxRegress <= 0 {
+		return nil
+	}
+	var bad []string
+	for _, rec := range out.Benchmarks {
+		if _, ran := current[rec.Name]; !ran {
+			continue
+		}
+		base, hadBaseline := baselines[rec.Name]
+		if !hadBaseline || base.NsPerOp <= 0 {
+			continue
+		}
+		if rec.Current.NsPerOp > base.NsPerOp*(1+maxRegress) {
+			bad = append(bad, fmt.Sprintf("  %s: %.0f ns/op vs baseline %.0f (%+.1f%%, limit +%.0f%%)",
+				rec.Name, rec.Current.NsPerOp, base.NsPerOp,
+				100*(rec.Current.NsPerOp/base.NsPerOp-1), 100*maxRegress))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%d benchmark(s) regressed past the -max-regress=%.2f tolerance:\n%s\n"+
+		"if the slowdown is intentional, delete the stale records from the JSON to re-baseline",
+		len(bad), maxRegress, strings.Join(bad, "\n"))
 }
 
 func joinOrNone(names []string) string {

@@ -66,11 +66,11 @@ func TestBaselineFrozenAcrossRuns(t *testing.T) {
 	out := filepath.Join(dir, "BENCH.json")
 
 	write(t, in, firstRun)
-	if err := run(in, out, false); err != nil {
+	if err := run(in, out, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	write(t, in, secondRun)
-	if err := run(in, out, false); err != nil {
+	if err := run(in, out, false, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -96,13 +96,13 @@ func TestRenameFailsWithDiff(t *testing.T) {
 	out := filepath.Join(dir, "BENCH.json")
 
 	write(t, in, firstRun)
-	if err := run(in, out, false); err != nil {
+	if err := run(in, out, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	before := load(t, out)
 
 	write(t, in, renamedRun)
-	err := run(in, out, false)
+	err := run(in, out, false, 0)
 	if err == nil {
 		t.Fatal("renamed benchmark set accepted")
 	}
@@ -125,11 +125,11 @@ func TestAllowMissingCarriesRecordsForward(t *testing.T) {
 	out := filepath.Join(dir, "BENCH.json")
 
 	write(t, in, firstRun)
-	if err := run(in, out, false); err != nil {
+	if err := run(in, out, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	write(t, in, renamedRun)
-	if err := run(in, out, true); err != nil {
+	if err := run(in, out, true, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -151,7 +151,7 @@ func TestNoInputLinesFails(t *testing.T) {
 	dir := t.TempDir()
 	in := filepath.Join(dir, "bench.txt")
 	write(t, in, "PASS\n")
-	if err := run(in, filepath.Join(dir, "out.json"), false); err == nil {
+	if err := run(in, filepath.Join(dir, "out.json"), false, 0); err == nil {
 		t.Error("empty benchmark output accepted")
 	}
 }
@@ -161,7 +161,80 @@ func TestFreshFileNeverReportsAdded(t *testing.T) {
 	in := filepath.Join(dir, "bench.txt")
 	write(t, in, firstRun)
 	// No existing file: everything is new, nothing can be missing.
-	if err := run(in, filepath.Join(dir, "out.json"), false); err != nil {
+	if err := run(in, filepath.Join(dir, "out.json"), false, 0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// slowRun regresses ScheduleWithPlanCache by 100% against firstRun's
+// baseline while DijkstraCompute holds steady.
+const slowRun = `cpu: Fake CPU @ 2.00GHz
+BenchmarkScheduleWithPlanCache-8   	     100	  22000000 ns/op	  500000 B/op	    4000 allocs/op
+BenchmarkDijkstraCompute-8         	   10000	    121000 ns/op	   30000 B/op	      90 allocs/op
+PASS
+`
+
+func TestMaxRegressTripsPastTolerance(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "BENCH.json")
+
+	write(t, in, firstRun)
+	if err := run(in, out, false, 0.15); err != nil {
+		t.Fatalf("first recording must never regress against itself: %v", err)
+	}
+	write(t, in, slowRun)
+	err := run(in, out, false, 0.15)
+	if err == nil {
+		t.Fatal("2x slowdown accepted under a 15% tolerance")
+	}
+	if !strings.Contains(err.Error(), "ScheduleWithPlanCache") {
+		t.Errorf("error %q does not name the regressed benchmark", err)
+	}
+	if strings.Contains(err.Error(), "DijkstraCompute") {
+		t.Errorf("error %q names a benchmark inside tolerance", err)
+	}
+	// The gate fires after writing: the trajectory must show the bad run.
+	f := load(t, out)
+	r := record(t, f, "ScheduleWithPlanCache")
+	if r.Current.NsPerOp != 22000000 {
+		t.Errorf("regressed numbers not recorded: %+v", r.Current)
+	}
+	if r.Baseline.NsPerOp != 11000000 {
+		t.Errorf("baseline moved: %+v", r.Baseline)
+	}
+}
+
+func TestMaxRegressWithinToleranceAndCarriedRecords(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "BENCH.json")
+
+	write(t, in, firstRun)
+	if err := run(in, out, false, 0.15); err != nil {
+		t.Fatal(err)
+	}
+	// secondRun is faster everywhere: well inside any tolerance.
+	write(t, in, secondRun)
+	if err := run(in, out, false, 0.15); err != nil {
+		t.Fatalf("improvement flagged as regression: %v", err)
+	}
+	// Regress the file's stored "current" for DijkstraCompute far past
+	// tolerance, then run a partial bench without it: carried-forward
+	// records are not this run's measurements and must not trip the gate.
+	write(t, in, `cpu: Fake CPU @ 2.00GHz
+BenchmarkScheduleWithPlanCache-8   	     100	  10000000 ns/op	  480000 B/op	    3900 allocs/op
+BenchmarkDijkstraCompute-8         	   10000	    900000 ns/op	   30000 B/op	      90 allocs/op
+PASS
+`)
+	if err := run(in, out, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	write(t, in, `cpu: Fake CPU @ 2.00GHz
+BenchmarkScheduleWithPlanCache-8   	     100	  10000000 ns/op	  480000 B/op	    3900 allocs/op
+PASS
+`)
+	if err := run(in, out, true, 0.15); err != nil {
+		t.Fatalf("carried-forward record tripped the gate: %v", err)
 	}
 }
