@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json bench-regress bench-smoke serve-smoke soak-smoke saturation-smoke trace-check cover cover-check fuzz study examples clean
+.PHONY: all build vet test test-short race bench bench-json bench-regress bench-smoke serve-smoke soak-smoke saturation-smoke audit-smoke trace-check cover cover-check fuzz study examples clean
 
 all: build vet test
 
@@ -67,6 +67,13 @@ soak-smoke:
 # leaves the JSON artifact for CI to upload.
 saturation-smoke:
 	sh scripts/saturation_smoke.sh
+
+# Replay a small canonical trace through stagesvc with -audit-out, validate
+# every audit JSONL line against the wide-event schema (auditcheck), and
+# require a second replay to reproduce the stream byte for byte. Leaves
+# .audit-smoke.jsonl for CI to upload.
+audit-smoke:
+	sh scripts/audit_smoke.sh
 
 # Export a Perfetto trace from a paper-scale run and validate its
 # structure: well-formed JSON, non-empty, monotone timestamps per track,

@@ -10,7 +10,7 @@
 //	          [-slack-min DUR] [-slack-max DUR] [-max-priority 2]
 //	          [-backoff DUR] [-timeout DUR] [-min-admitted N]
 //	          [-windows K] [-max-slope X]
-//	          [-trace FILE]
+//	          [-trace FILE] [-class-summary]
 //
 // Each worker keeps one submission in flight (POST /v1/requests?wait=1),
 // backing off and retrying on 429. -min-admitted makes the run a check:
@@ -24,6 +24,11 @@
 // with the committed history — the regression the incremental engine
 // exists to prevent.
 //
+// -class-summary appends a per-priority-class table (requests, verdict
+// mix, admission rate, p50/p99 decision latency) derived from the
+// service's audit stream; the target must run with auditing enabled
+// (stagesvc -audit).
+//
 // Trace mode: -trace FILE replays a canonical .trace.json (see
 // internal/workload) instead of generating a synthetic stream. The target
 // must run with -virtual-clock; the driver advances the clock to each
@@ -33,14 +38,18 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"datastaging/internal/obs/lifecycle"
+	"datastaging/internal/report"
 	"datastaging/internal/serve"
 	"datastaging/internal/workload"
 )
@@ -74,6 +83,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"fail when last-window mean latency exceeds first-window mean by this ratio (requires -windows)")
 	tracePath := fs.String("trace", "",
 		"replay this canonical .trace.json instead of generating a synthetic stream (target needs -virtual-clock)")
+	classSummary := fs.Bool("class-summary", false,
+		"print a per-priority-class verdict/latency table from the service's audit stream (target needs -audit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,6 +106,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(out, "trace      %s (%d arrivals, %d requests)\n",
 			tr.Name, len(tr.Arrivals), workload.NumRequests(tr.Arrivals))
 		rep.Write(out)
+		if *classSummary {
+			if err := printClassSummary(ctx, &serve.Client{BaseURL: *url}, out); err != nil {
+				return err
+			}
+		}
 		if rep.Admitted < *minAdmitted {
 			return fmt.Errorf("admitted %d submissions, need at least %d", rep.Admitted, *minAdmitted)
 		}
@@ -125,8 +141,29 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return fmt.Errorf("latency slope %.2f exceeds -max-slope %.2f: per-epoch cost is growing with history", slope, *maxSlope)
 		}
 	}
+	if *classSummary {
+		if err := printClassSummary(ctx, &serve.Client{BaseURL: *url}, out); err != nil {
+			return err
+		}
+	}
 	if rep.Admitted < *minAdmitted {
 		return fmt.Errorf("admitted %d submissions, need at least %d", rep.Admitted, *minAdmitted)
 	}
 	return nil
+}
+
+// printClassSummary pulls the service's audit stream and prints the
+// per-priority-class verdict mix and decision-latency quantiles.
+func printClassSummary(ctx context.Context, c *serve.Client, out io.Writer) error {
+	recs, err := c.Audit(ctx)
+	if err != nil {
+		var st *serve.ErrStatus
+		if errors.As(err, &st) && st.Code == http.StatusNotFound {
+			return fmt.Errorf("-class-summary: the target exposes no audit stream; run stagesvc with -audit")
+		}
+		return fmt.Errorf("-class-summary: %w", err)
+	}
+	headers, rows := report.AuditClassRows(lifecycle.Summarize(recs))
+	fmt.Fprintln(out)
+	return report.Table(out, headers, rows)
 }

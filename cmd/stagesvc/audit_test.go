@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"datastaging/internal/obs/lifecycle"
+	"datastaging/internal/workload"
+)
+
+func writeSteadyTrace(t *testing.T) string {
+	t.Helper()
+	spec, err := workload.Builtin("steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec = spec.ScaleRate(0.25)
+	arrivals, err := spec.Compile(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "steady.trace.json")
+	if err := workload.WriteTraceFile(path, workload.NewTrace(spec.Name, 10, &spec, arrivals)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func replayWithAudit(t *testing.T, trPath, auditPath string, extra ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-seed", "3",
+		"-virtual-clock",
+		"-replay-trace", trPath,
+		"-audit-out", auditPath,
+	}
+	args = append(args, extra...)
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+// TestAuditByteStability is the forensics contract end to end: replaying
+// the same canonical trace twice through the daemon produces byte-identical
+// audit JSONL, and every line validates against the wide-event schema.
+func TestAuditByteStability(t *testing.T) {
+	trPath := writeSteadyTrace(t)
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.audit.jsonl")
+	pathB := filepath.Join(dir, "b.audit.jsonl")
+	chromePath := filepath.Join(dir, "run.trace.json")
+
+	outA := replayWithAudit(t, trPath, pathA, "-chrome-trace-out", chromePath)
+	replayWithAudit(t, trPath, pathB)
+
+	a, err := os.ReadFile(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("first replay wrote an empty audit file")
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("audit JSONL differs across identical replays (%d vs %d bytes)", len(a), len(b))
+	}
+
+	// Every line must parse and validate; the stream must cover at least
+	// one admission decision per trace arrival.
+	recs, err := lifecycle.ReadJSONL(bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("audit stream rejected by its own schema: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no audit records decoded")
+	}
+	decisions := 0
+	for _, r := range recs {
+		if r.Kind == lifecycle.KindDecision {
+			decisions++
+		}
+	}
+	if decisions == 0 {
+		t.Error("audit stream has no decision records")
+	}
+	if !strings.Contains(outA, "audit records to "+pathA) {
+		t.Errorf("output does not report the audit artifact:\n%s", outA)
+	}
+
+	// The chrome trace must be valid JSON with per-request lifecycle events.
+	cb, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(cb, &ct); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		t.Error("chrome trace has no events")
+	}
+	if !strings.Contains(string(cb), "decision: admitted") {
+		t.Error("chrome trace missing per-request decision instants")
+	}
+	if !strings.Contains(outA, "wrote chrome trace to "+chromePath) {
+		t.Errorf("output does not report the chrome trace:\n%s", outA)
+	}
+}
+
+// TestAuditOutImpliesAudit pins the flag coupling: -audit-out alone turns
+// auditing on, and a bad path is a clean startup error.
+func TestAuditOutImpliesAudit(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", "127.0.0.1:0", "-virtual-clock",
+		"-audit-out", filepath.Join(t.TempDir(), "no", "such", "dir", "a.jsonl"),
+	}, &out)
+	if err == nil {
+		t.Fatal("unwritable -audit-out accepted")
+	}
+}

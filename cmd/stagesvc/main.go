@@ -16,7 +16,8 @@
 //	         [-max-batch N] [-max-wait DUR] [-queue-cap N]
 //	         [-virtual-clock] [-time-scale X] [-preempt]
 //	         [-no-diagnose] [-force-full-replay] [-drain-timeout DUR]
-//	         [-replay-trace FILE]
+//	         [-replay-trace FILE] [-audit] [-audit-out FILE]
+//	         [-decision-slo DUR] [-chrome-trace-out FILE]
 //
 // Replay mode: -replay-trace FILE (requires -virtual-clock) starts the
 // service, replays the canonical trace against its own HTTP endpoint —
@@ -36,6 +37,14 @@
 //	                        scheduler metrics)
 //	GET  /runinfo           live epoch phase; /events, /debug/pprof/ too
 //
+// Auditing: -audit (implied by -audit-out, -decision-slo, or
+// -chrome-trace-out) records one schema-versioned lifecycle event per
+// admission decision. Records stream to -audit-out as JSONL, are served
+// live via GET /v1/audit and GET /v1/requests/{id}/trace, feed the
+// per-priority-class decision-latency histograms on /metrics, and — with
+// -chrome-trace-out — render as per-request tracks in a Perfetto trace
+// written on exit.
+//
 // SIGTERM or SIGINT drains gracefully: intake closes (503), the in-flight
 // epoch completes, the final schedule is reported, and the process exits 0.
 package main
@@ -54,7 +63,9 @@ import (
 
 	"datastaging/internal/cliconf"
 	"datastaging/internal/obs"
+	"datastaging/internal/obs/chrometrace"
 	"datastaging/internal/obs/introspect"
+	"datastaging/internal/obs/lifecycle"
 	"datastaging/internal/serve"
 	"datastaging/internal/workload"
 )
@@ -100,8 +111,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
 	replayTrace := fs.String("replay-trace", "",
 		"replay this canonical .trace.json against the service's own endpoint, print the outcome, and exit (requires -virtual-clock)")
+	audit := fs.Bool("audit", false,
+		"record one lifecycle audit event per admission decision (enables GET /v1/audit and /v1/requests/{id}/trace)")
+	auditOut := fs.String("audit-out", "",
+		"stream audit records to this JSONL file (implies -audit)")
+	decisionSLO := fs.Duration("decision-slo", 0,
+		"per-request decision-latency budget; violations count in slo_decision_latency_violations_total (implies -audit)")
+	chromeOut := fs.String("chrome-trace-out", "",
+		"write a Perfetto trace of the final schedule and per-request lifecycles on exit (implies -audit)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *auditOut != "" || *decisionSLO > 0 || *chromeOut != "" {
+		*audit = true
 	}
 
 	var tr *workload.Trace
@@ -160,6 +182,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		},
 	})
 
+	var recorder *lifecycle.Recorder
+	if *audit {
+		var sink io.Writer
+		if *auditOut != "" {
+			f, err := os.Create(*auditOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			sink = f
+		}
+		recorder = lifecycle.New(lifecycle.Options{Obs: o, Sink: sink, SLO: *decisionSLO})
+	}
+
 	eng, err := serve.New(sc, serve.Options{
 		Config:          cfg,
 		MaxBatch:        *maxBatch,
@@ -171,6 +207,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		SkipDiagnosis:   *noDiagnose,
 		ForceFullReplay: *forceFullReplay,
 		Intro:           intro,
+		Audit:           recorder,
 	})
 	if err != nil {
 		return err
@@ -190,6 +227,42 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 
+	// finish reports the drained engine's final schedule plus the audit
+	// artifacts; both exit paths (replay mode and graceful drain) share it.
+	finish := func() error {
+		sv := eng.Schedule()
+		fmt.Fprintf(out, "stagesvc: final schedule: %d epochs, %d/%d requests satisfied, "+
+			"%d transfers, weighted value %.1f\n",
+			sv.Epochs, sv.Satisfied, sv.TotalRequests, len(sv.Transfers), sv.WeightedValue)
+		if recorder != nil {
+			if err := recorder.SinkErr(); err != nil {
+				return fmt.Errorf("audit sink: %w", err)
+			}
+			if *auditOut != "" {
+				fmt.Fprintf(out, "stagesvc: wrote %d audit records to %s\n",
+					recorder.Len(), *auditOut)
+			}
+		}
+		if *chromeOut != "" {
+			f, err := os.Create(*chromeOut)
+			if err != nil {
+				return err
+			}
+			ct := chrometrace.New()
+			ct.AddResult(eng.Scenario(), eng.Result())
+			ct.AddLifecycle(recorder.Records())
+			if err := ct.Encode(f); err != nil {
+				f.Close()
+				return fmt.Errorf("chrome trace: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "stagesvc: wrote chrome trace to %s\n", *chromeOut)
+		}
+		return nil
+	}
+
 	if tr != nil {
 		rep, err := serve.ReplayTrace(ctx, &serve.Client{BaseURL: "http://" + ln.Addr().String()}, tr)
 		if err != nil {
@@ -205,11 +278,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if err := srv.Shutdown(dctx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
 		}
-		sv := eng.Schedule()
-		fmt.Fprintf(out, "stagesvc: final schedule: %d epochs, %d/%d requests satisfied, "+
-			"%d transfers, weighted value %.1f\n",
-			sv.Epochs, sv.Satisfied, sv.TotalRequests, len(sv.Transfers), sv.WeightedValue)
-		return nil
+		return finish()
 	}
 
 	select {
@@ -230,9 +299,5 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if drainErr != nil {
 		return fmt.Errorf("drain: %w", drainErr)
 	}
-	sv := eng.Schedule()
-	fmt.Fprintf(out, "stagesvc: final schedule: %d epochs, %d/%d requests satisfied, "+
-		"%d transfers, weighted value %.1f\n",
-		sv.Epochs, sv.Satisfied, sv.TotalRequests, len(sv.Transfers), sv.WeightedValue)
-	return nil
+	return finish()
 }

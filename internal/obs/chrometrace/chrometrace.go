@@ -23,6 +23,7 @@ import (
 	"datastaging/internal/core"
 	"datastaging/internal/model"
 	"datastaging/internal/obs"
+	"datastaging/internal/obs/lifecycle"
 	"datastaging/internal/scenario"
 	"datastaging/internal/simtime"
 	"datastaging/internal/state"
@@ -36,6 +37,7 @@ const (
 	pidRecvPorts = 3
 	pidStorage   = 4
 	pidPlanner   = 5
+	pidRequests  = 6
 )
 
 // event is one trace event in the Chrome trace-event format. Ts and Dur
@@ -326,6 +328,94 @@ func (t *Trace) AddEvents(sc *scenario.Scenario, evs []obs.Event) {
 				Dur: usecDur(end.Sub(simtime.Instant(e.At))),
 				Pid: pidPlanner, Tid: 1,
 				Args: map[string]any{"aborted_transfers": e.N},
+			})
+		}
+	}
+}
+
+// AddLifecycle renders an admission audit stream as per-request tracks: one
+// track per ticket under a "requests" process, carrying the intake-queue
+// wait as a span from receipt to the deciding epoch, the verdict as an
+// instant (args: epoch ordinal, replan path, batch size, queue depth at
+// arrival, and the objective delta of a preemption), a delivery span from
+// the epoch to each admitted request's committed completion, and every later
+// revision as its own instant. Backpressure sheds — submissions that never
+// got a ticket — land as instants on a shared "shed" track. Timestamps are
+// the records' virtual instants, so a deterministic audit stream yields a
+// deterministic trace.
+func (t *Trace) AddLifecycle(recs []lifecycle.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	t.process(pidRequests, "requests")
+	for i := range recs {
+		rec := &recs[i]
+		if rec.Kind == lifecycle.KindBackpressure {
+			t.thread(pidRequests, 0, "shed")
+			t.events = append(t.events, event{
+				Name: "shed (backpressure)", Ph: "i", S: "t",
+				Ts: usec(simtime.Instant(rec.Timeline[0].V)), Pid: pidRequests, Tid: 0,
+				Args: map[string]any{
+					"queue_depth":   rec.QueueDepth,
+					"retry_after_s": rec.RetryAfterS,
+				},
+			})
+			continue
+		}
+		// Item ids are unique per ticket and assigned in admission order, so
+		// item+1 is a stable per-ticket track (0 is the shed track).
+		tid := rec.Item + 1
+		name := rec.Ticket
+		if rec.Name != "" {
+			name += " " + rec.Name
+		}
+		t.thread(pidRequests, tid, name)
+		received := simtime.Instant(rec.Timeline[0].V)
+		epochAt := simtime.Instant(rec.EpochAt)
+		switch rec.Kind {
+		case lifecycle.KindDecision:
+			t.events = append(t.events, event{
+				Name: "queued", Ph: "X", Cat: "request",
+				Ts: usec(received), Dur: usecDur(epochAt.Sub(received)),
+				Pid: pidRequests, Tid: tid,
+				Args: map[string]any{"queue_depth": rec.QueueDepth},
+			})
+			args := map[string]any{
+				"epoch":      rec.Epoch,
+				"epoch_path": rec.EpochPath,
+				"batch_size": rec.BatchSize,
+			}
+			if rec.ObjectiveDelta != 0 {
+				args["objective_delta"] = rec.ObjectiveDelta
+			}
+			t.events = append(t.events, event{
+				Name: "decision: " + rec.Status, Ph: "i", S: "t",
+				Ts: usec(epochAt), Pid: pidRequests, Tid: tid, Args: args,
+			})
+		case lifecycle.KindRevision:
+			args := map[string]any{"epoch": rec.Epoch}
+			if rec.ObjectiveDelta != 0 {
+				args["objective_delta"] = rec.ObjectiveDelta
+			}
+			t.events = append(t.events, event{
+				Name: "revised: " + rec.Status, Ph: "i", S: "t",
+				Ts: usec(epochAt), Pid: pidRequests, Tid: tid, Args: args,
+			})
+		}
+		for _, rq := range rec.Requests {
+			if rq.Status != "admitted" || rq.Completion <= int64(epochAt) {
+				continue
+			}
+			t.events = append(t.events, event{
+				Name: fmt.Sprintf("deliver r%d.%d", rq.Item, rq.Index),
+				Ph:   "X", Cat: "request",
+				Ts:  usec(epochAt),
+				Dur: usecDur(simtime.Instant(rq.Completion).Sub(epochAt)),
+				Pid: pidRequests, Tid: tid,
+				Args: map[string]any{
+					"machine":          rq.Machine,
+					"deadline_slack_s": float64(rq.Deadline-rq.Completion) / float64(time.Second),
+				},
 			})
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"datastaging/internal/core"
 	"datastaging/internal/model"
 	"datastaging/internal/obs"
+	"datastaging/internal/obs/lifecycle"
 	"datastaging/internal/testnet"
 )
 
@@ -166,5 +167,112 @@ func TestAddEventsOnly(t *testing.T) {
 	}
 	if transfers != 2 {
 		t.Errorf("events-only trace has %d transfers, want 2", transfers)
+	}
+}
+
+func TestAddLifecycle(t *testing.T) {
+	sec := func(s int64) int64 { return s * int64(time.Second) }
+	recs := []lifecycle.Record{
+		{
+			Schema: lifecycle.SchemaVersion, Kind: lifecycle.KindDecision,
+			Ticket: "r-0", Item: 0, Name: "bulk",
+			Timeline: []lifecycle.Hop{
+				{Stage: lifecycle.StageReceived, V: sec(10)},
+				{Stage: lifecycle.StageEnqueued, V: sec(10)},
+				{Stage: lifecycle.StageEpochStart, V: sec(30)},
+				{Stage: lifecycle.StagePlanned, V: sec(30)},
+				{Stage: lifecycle.StageDecided, V: sec(30)},
+				{Stage: lifecycle.StageSettled, V: sec(30)},
+			},
+			Epoch: 1, EpochAt: sec(30), EpochPath: "incremental", BatchSize: 2,
+			Status: "admitted",
+			Requests: []lifecycle.RequestOutcome{{
+				Item: 0, Index: 0, Machine: 1, Priority: 2,
+				Status: "admitted", Deadline: sec(90), Completion: sec(61), BlamedLink: -1,
+			}},
+		},
+		{
+			Schema: lifecycle.SchemaVersion, Kind: lifecycle.KindRevision,
+			Ticket: "r-0", Item: 0,
+			Timeline: []lifecycle.Hop{
+				{Stage: lifecycle.StageReceived, V: sec(10)},
+				{Stage: lifecycle.StageEnqueued, V: sec(10)},
+				{Stage: lifecycle.StageEpochStart, V: sec(45)},
+				{Stage: lifecycle.StagePlanned, V: sec(45)},
+				{Stage: lifecycle.StageDecided, V: sec(45)},
+				{Stage: lifecycle.StageSettled, V: sec(45)},
+			},
+			Epoch: 2, EpochAt: sec(45), EpochPath: "full", BatchSize: 1,
+			Status: "preempted", ObjectiveDelta: 90,
+			Requests: []lifecycle.RequestOutcome{{
+				Item: 0, Index: 0, Machine: 1, Priority: 2,
+				Status: "preempted", Deadline: sec(90), BlamedLink: -1,
+			}},
+		},
+		{
+			Schema: lifecycle.SchemaVersion, Kind: lifecycle.KindBackpressure,
+			Item: -1, Status: "backpressure", QueueDepth: 4, RetryAfterS: 1,
+			Timeline: []lifecycle.Hop{{Stage: lifecycle.StageReceived, V: sec(50)}},
+		},
+	}
+
+	encode := func() []byte {
+		tr := New()
+		tr.AddLifecycle(recs)
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	raw := encode()
+	if !bytes.Equal(raw, encode()) {
+		t.Error("lifecycle trace is not deterministic across encodes")
+	}
+
+	var tf traceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("lifecycle trace is not valid JSON: %v", err)
+	}
+	want := map[string]bool{
+		"queued":              false, // span 10s→30s on the ticket track
+		"decision: admitted":  false,
+		"deliver r0.0":        false, // span 30s→61s
+		"revised: preempted":  false,
+		"shed (backpressure)": false,
+	}
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.Pid != pidRequests {
+			t.Errorf("lifecycle event %q on pid %d, want %d", e.Name, e.Pid, pidRequests)
+		}
+		if _, ok := want[e.Name]; ok {
+			want[e.Name] = true
+		}
+		switch e.Name {
+		case "queued":
+			if e.Ts != 10e6 || e.Dur != 20e6 || e.Tid != 1 {
+				t.Errorf("queued span = ts %v dur %v tid %d", e.Ts, e.Dur, e.Tid)
+			}
+		case "deliver r0.0":
+			if e.Ts != 30e6 || e.Dur != 31e6 {
+				t.Errorf("deliver span = ts %v dur %v", e.Ts, e.Dur)
+			}
+		case "revised: preempted":
+			if e.Args["objective_delta"] != 90.0 {
+				t.Errorf("revision args = %v", e.Args)
+			}
+		case "shed (backpressure)":
+			if e.Tid != 0 {
+				t.Errorf("shed instant on tid %d, want 0", e.Tid)
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("lifecycle trace missing %q event", name)
+		}
 	}
 }

@@ -130,6 +130,25 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Snapshot freezes this one histogram. Concurrent observations during the
+// copy are individually atomic. A nil (disabled) histogram snapshots as
+// empty.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	hs := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		hs.Counts[i] = h.counts[i].Load()
+	}
+	return hs
+}
+
 // The fixed bucket layouts. Registering a histogram with one of these
 // keeps snapshots comparable across runs and packages.
 var (
@@ -193,9 +212,17 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// BoundsConflictCounter counts Histogram re-registrations whose bucket
+// bounds disagree with the instrument already registered under that name.
+// The original bounds always win; a silent winner used to make the loser's
+// observations land in surprising buckets with no trail, so the conflict is
+// now visible in every snapshot.
+const BoundsConflictCounter = "obs.histogram_bounds_conflict_total"
+
 // Histogram returns the named histogram, creating it with the given bucket
 // bounds (which must be sorted ascending) on first use; an existing
-// histogram keeps its original bounds. Nil-safe.
+// histogram keeps its original bounds, and a re-registration with different
+// bounds increments BoundsConflictCounter. Nil-safe.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
@@ -206,8 +233,29 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if !ok {
 		h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
 		r.hists[name] = h
+	} else if !equalBounds(h.bounds, bounds) {
+		// r.mu is held: get-or-create the conflict counter directly rather
+		// than through Counter, which would deadlock.
+		c, have := r.counts[BoundsConflictCounter]
+		if !have {
+			c = &Counter{}
+			r.counts[BoundsConflictCounter] = c
+		}
+		c.Inc()
 	}
 	return h
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // HistogramSnapshot is the frozen state of one histogram.
@@ -226,6 +274,71 @@ func (h HistogramSnapshot) Mean() float64 {
 		return 0
 	}
 	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-th quantile (q in [0, 1]) by linear
+// interpolation within the bucket holding the q-th observation, the same
+// estimate Prometheus's histogram_quantile computes. The first bucket
+// interpolates from zero when its upper bound is positive (the metrics
+// here — durations, counts — are non-negative); observations beyond the
+// last bound cannot be interpolated and report the last bound itself, a
+// deliberate underestimate that keeps the result finite. An empty
+// histogram reports zero.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	for i, n := range h.Counts {
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i == len(h.Bounds) {
+				return h.Bounds[len(h.Bounds)-1] // overflow bucket: clamp
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			} else if h.Bounds[0] <= 0 {
+				lo = h.Bounds[0]
+			}
+			hi := h.Bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// SnapshotValues builds a HistogramSnapshot directly from a value slice
+// over the given bucket bounds, without going through a live registry.
+// Offline analyzers (the saturation sweep, the audit summarizer) use it to
+// report the same interpolated Quantile estimates /metrics exports instead
+// of bespoke percentile code.
+func SnapshotValues(bounds []float64, values []float64) HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), bounds...),
+		Counts: make([]int64, len(bounds)+1),
+	}
+	for _, v := range values {
+		s.Counts[sort.SearchFloat64s(s.Bounds, v)]++
+		s.Count++
+		s.Sum += v
+	}
+	return s
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry,
@@ -257,16 +370,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		hs := HistogramSnapshot{
-			Bounds: append([]float64(nil), h.bounds...),
-			Counts: make([]int64, len(h.counts)),
-			Count:  h.Count(),
-			Sum:    h.Sum(),
-		}
-		for i := range h.counts {
-			hs.Counts[i] = h.counts[i].Load()
-		}
-		s.Histograms[name] = hs
+		s.Histograms[name] = h.Snapshot()
 	}
 	return s
 }

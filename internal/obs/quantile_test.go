@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func snapFrom(bounds []float64, values ...float64) HistogramSnapshot {
+	r := NewRegistry()
+	h := r.Histogram("q", bounds)
+	for _, v := range values {
+		h.Observe(v)
+	}
+	return r.Snapshot().Histograms["q"]
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+
+	// 10 observations spread evenly through (1, 2]: the median sits 50%
+	// into that bucket.
+	vals := make([]float64, 10)
+	for i := range vals {
+		vals[i] = 1.5
+	}
+	s := snapFrom(bounds, vals...)
+	if got, want := s.Quantile(0.5), 1.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Quantile(0.5) = %v, want %v", got, want)
+	}
+	// All mass in one bucket: q walks linearly across it.
+	if got, want := s.Quantile(0.1), 1.1; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Quantile(0.1) = %v, want %v", got, want)
+	}
+	if got, want := s.Quantile(1), 2.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Quantile(1) = %v, want %v", got, want)
+	}
+
+	// Mass split across buckets: 5 in (0,1], 5 in (2,4]. The 0.25 point is
+	// halfway through the first bucket, which interpolates from zero.
+	s = snapFrom(bounds, 0.5, 0.5, 0.5, 0.5, 0.5, 3, 3, 3, 3, 3)
+	if got, want := s.Quantile(0.25), 0.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Quantile(0.25) = %v, want %v", got, want)
+	}
+	if got, want := s.Quantile(0.75), 3.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Quantile(0.75) = %v, want %v", got, want)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	// Observations beyond the last bound clamp to it rather than inventing
+	// an upper edge.
+	s := snapFrom([]float64{1, 2}, 100, 200, 300)
+	if got := s.Quantile(0.99); got != 2 {
+		t.Errorf("overflow Quantile = %v, want the last bound 2", got)
+	}
+	// Out-of-range q is clamped.
+	s = snapFrom([]float64{1, 2}, 0.5)
+	if got := s.Quantile(-3); got != s.Quantile(0) {
+		t.Errorf("Quantile(-3) = %v, want Quantile(0) = %v", got, s.Quantile(0))
+	}
+	if got := s.Quantile(42); got != s.Quantile(1) {
+		t.Errorf("Quantile(42) = %v, want Quantile(1) = %v", got, s.Quantile(1))
+	}
+	// A first bucket with a non-positive bound does not interpolate from 0.
+	s = snapFrom([]float64{-2, -1, 0}, -2, -2)
+	if got := s.Quantile(0.5); got > -1 {
+		t.Errorf("negative-bucket Quantile = %v, want within [-2,-2]", got)
+	}
+}
+
+func TestHistogramBoundsConflict(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("dup", []float64{1, 2, 3})
+	if got := r.Counter(BoundsConflictCounter).Value(); got != 0 {
+		t.Fatalf("conflict counter = %d before any conflict", got)
+	}
+	// Same bounds: shared instrument, no conflict.
+	if h2 := r.Histogram("dup", []float64{1, 2, 3}); h2 != h1 {
+		t.Fatal("same-bounds re-register did not return the shared instrument")
+	}
+	if got := r.Counter(BoundsConflictCounter).Value(); got != 0 {
+		t.Fatalf("conflict counter = %d after a same-bounds re-register", got)
+	}
+	// Conflicting bounds: the original instrument wins, the conflict is
+	// counted once per offending call.
+	if h3 := r.Histogram("dup", []float64{5, 10}); h3 != h1 {
+		t.Fatal("conflicting re-register did not keep the original instrument")
+	}
+	r.Histogram("dup", nil)
+	if got := r.Counter(BoundsConflictCounter).Value(); got != 2 {
+		t.Fatalf("conflict counter = %d, want 2", got)
+	}
+	// The counter itself appears in snapshots.
+	if got := r.Snapshot().Counters[BoundsConflictCounter]; got != 2 {
+		t.Fatalf("snapshot conflict counter = %d, want 2", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"datastaging/internal/core"
 	"datastaging/internal/experiment"
+	"datastaging/internal/obs/lifecycle"
 	"datastaging/internal/workload"
 )
 
@@ -260,6 +261,28 @@ func SaturationRows(res *workload.SaturationResult) ([]string, [][]string) {
 			pt.P50.Round(time.Microsecond).String(),
 			pt.P99.Round(time.Microsecond).String(),
 			fmt.Sprintf("%d", pt.Epochs),
+		})
+	}
+	return headers, rows
+}
+
+// AuditClassRows renders per-priority-class audit summaries (the stageload
+// -class-summary table): how each class fared across admission, rejection,
+// and preemption, with decision-latency quantiles.
+func AuditClassRows(sums []lifecycle.ClassSummary) ([]string, [][]string) {
+	headers := []string{"class", "requests", "admitted", "rejected", "preempted",
+		"adm rate", "p50 decide", "p99 decide"}
+	var rows [][]string
+	for _, cs := range sums {
+		rows = append(rows, []string{
+			priorityName(cs.Class),
+			fmt.Sprintf("%d", cs.Requests),
+			fmt.Sprintf("%d", cs.Admitted),
+			fmt.Sprintf("%d", cs.Rejected),
+			fmt.Sprintf("%d", cs.Preempted),
+			fmt.Sprintf("%.3f", cs.AdmissionRate),
+			cs.P50.Round(time.Microsecond).String(),
+			cs.P99.Round(time.Microsecond).String(),
 		})
 	}
 	return headers, rows

@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"datastaging/internal/model"
+	"datastaging/internal/obs"
+	"datastaging/internal/obs/lifecycle"
+	"datastaging/internal/simtime"
+)
+
+// auditedEngine builds a virtual-clock engine over the narrow network with
+// auditing on, streaming to sink.
+func auditedEngine(t *testing.T, o *obs.Obs, sink *bytes.Buffer, opts Options) *Engine {
+	t.Helper()
+	opts.Config = cfgC4(o)
+	opts.VirtualClock = true
+	opts.Audit = lifecycle.New(lifecycle.Options{Obs: o, Sink: sink})
+	eng, err := New(narrowNet(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestAuditTraceVerdicts drives one engine through every verdict shape —
+// admitted, rejected-with-blame, preempted (a revision), and a 429
+// backpressure shed — and checks each shape's audit trail over HTTP.
+func TestAuditTraceVerdicts(t *testing.T) {
+	o := obs.New()
+	var sink bytes.Buffer
+	eng := auditedEngine(t, o, &sink, Options{
+		MaxBatch:   100,
+		QueueCap:   2,
+		Preemption: true,
+	})
+
+	// Epoch 30s: r-0 (low) books the link's only feasible slot, then r-1
+	// (high) displaces it — r-0's decision is later revised to preempted.
+	if _, err := eng.Submit(lineSubmission(61500*time.Millisecond, int(model.Low))); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Advance(simtime.At(30 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Submit(lineSubmission(61500*time.Millisecond, int(model.High))); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// r-2 wants the same slot once it is gone: rejected with an explain
+	// reason.
+	if _, err := eng.Submit(lineSubmission(61500*time.Millisecond, int(model.Low))); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the intake queue and shed one submission at the door.
+	for i := 0; i < 2; i++ {
+		if _, err := eng.Submit(lineSubmission(10*time.Minute, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Submit(lineSubmission(10*time.Minute, 0)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overfull queue: got %v, want ErrOverloaded", err)
+	}
+
+	srv := httptest.NewServer(eng.Handler())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+	ctx := context.Background()
+
+	// Preempted: a decision record then a revision carrying the objective
+	// delta of the displacement.
+	tr, err := c.Trace(ctx, "r-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 2 {
+		t.Fatalf("r-0 trace has %d records, want decision+revision: %+v", len(tr.Records), tr.Records)
+	}
+	dec, rev := tr.Records[0], tr.Records[1]
+	if dec.Kind != lifecycle.KindDecision || dec.Status != string(StatusAdmitted) {
+		t.Errorf("r-0 first record = %s/%s, want decision/admitted", dec.Kind, dec.Status)
+	}
+	if rev.Kind != lifecycle.KindRevision || rev.Status != string(StatusPreempted) {
+		t.Errorf("r-0 second record = %s/%s, want revision/preempted", rev.Kind, rev.Status)
+	}
+	if rev.ObjectiveDelta <= 0 {
+		t.Errorf("preemption revision has objective delta %v, want > 0", rev.ObjectiveDelta)
+	}
+	if rev.Requests[0].Reason == "" {
+		t.Error("preempted outcome has no reason")
+	}
+	if dec.Epoch != 1 || rev.Epoch != 2 {
+		t.Errorf("r-0 epochs = %d then %d, want 1 then 2", dec.Epoch, rev.Epoch)
+	}
+
+	// Admitted: completion instant committed, full lifecycle timeline.
+	tr, err = c.Trace(ctx, "r-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 1 || tr.Records[0].Status != string(StatusAdmitted) {
+		t.Fatalf("r-1 trace = %+v, want one admitted decision", tr.Records)
+	}
+	adm := tr.Records[0]
+	if adm.Requests[0].Completion <= 0 {
+		t.Error("admitted outcome has no completion instant")
+	}
+	wantStages := []string{
+		lifecycle.StageReceived, lifecycle.StageEnqueued, lifecycle.StageEpochStart,
+		lifecycle.StagePlanned, lifecycle.StageDecided, lifecycle.StageSettled,
+	}
+	if len(adm.Timeline) != len(wantStages) {
+		t.Fatalf("timeline %+v, want stages %v", adm.Timeline, wantStages)
+	}
+	for i, hop := range adm.Timeline {
+		if hop.Stage != wantStages[i] {
+			t.Errorf("timeline[%d] = %q, want %q", i, hop.Stage, wantStages[i])
+		}
+	}
+	if adm.Timeline[0].V != int64(simtime.At(30*time.Second)) || adm.EpochAt != adm.Timeline[2].V {
+		t.Errorf("timeline instants wrong: %+v", adm.Timeline)
+	}
+	// Advance flushed r-0 before the clock moved, so r-1 flushed alone.
+	if adm.BatchSize != 1 || adm.QueueDepth != 0 {
+		t.Errorf("r-1 batch size %d / queue depth %d, want 1 / 0", adm.BatchSize, adm.QueueDepth)
+	}
+
+	// Rejected: the explain blame survives into the audit record.
+	tr, err = c.Trace(ctx, "r-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 1 || tr.Records[0].Status != string(StatusRejected) {
+		t.Fatalf("r-2 trace = %+v, want one rejected decision", tr.Records)
+	}
+	if tr.Records[0].Requests[0].Reason == "" {
+		t.Error("rejected outcome has no explain reason")
+	}
+
+	// Backpressure: no ticket, so the shed shows up in the bulk stream.
+	recs, err := c.Audit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shed *lifecycle.Record
+	for i := range recs {
+		if recs[i].Kind == lifecycle.KindBackpressure {
+			if shed != nil {
+				t.Fatal("more than one backpressure record")
+			}
+			shed = &recs[i]
+		}
+	}
+	if shed == nil {
+		t.Fatal("no backpressure record in the audit stream")
+	}
+	if shed.QueueDepth != 2 || shed.RetryAfterS != retryAfterSeconds || shed.Item != -1 {
+		t.Errorf("backpressure record = %+v", shed)
+	}
+
+	// Virtual-clock engines are deterministic: no wall-clock field may leak
+	// into the stream.
+	if strings.Contains(sink.String(), "wallS") || strings.Contains(sink.String(), "decisionLatencyS") {
+		t.Error("deterministic audit stream leaks wall-clock fields")
+	}
+	// Unknown tickets 404.
+	if _, err := c.Trace(ctx, "nope"); err == nil {
+		t.Error("trace of unknown ticket did not fail")
+	}
+}
+
+// TestAuditDisabled404: without a recorder the trace and audit endpoints
+// answer 404 and the engine carries no recorder.
+func TestAuditDisabled404(t *testing.T) {
+	eng, err := New(narrowNet(), Options{Config: cfgC4(nil), VirtualClock: true, MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Audit().Enabled() {
+		t.Fatal("engine without Options.Audit reports auditing enabled")
+	}
+	if _, err := eng.Submit(lineSubmission(10*time.Minute, 0)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(eng.Handler())
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+	var st *ErrStatus
+	if _, err := c.Trace(context.Background(), "r-0"); !errors.As(err, &st) || st.Code != 404 {
+		t.Errorf("trace on unaudited engine: got %v, want 404", err)
+	}
+	if _, err := c.Audit(context.Background()); !errors.As(err, &st) || st.Code != 404 {
+		t.Errorf("audit on unaudited engine: got %v, want 404", err)
+	}
+}
+
+// TestAuditByteStability: two engines fed the identical virtual-clock
+// workload emit byte-identical audit streams.
+func TestAuditByteStability(t *testing.T) {
+	run := func() *bytes.Buffer {
+		var sink bytes.Buffer
+		eng := auditedEngine(t, obs.New(), &sink, Options{MaxBatch: 100, Preemption: true})
+		if _, err := eng.Submit(lineSubmission(61500*time.Millisecond, int(model.Low))); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Advance(simtime.At(30 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Submit(lineSubmission(61500*time.Millisecond, int(model.High))); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return &sink
+	}
+	a, b := run(), run()
+	if a.Len() == 0 {
+		t.Fatal("empty audit stream")
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("audit streams differ across identical runs:\n%s\n----\n%s", a.String(), b.String())
+	}
+}
+
+// TestAuditMetricsAgreement runs a wall-clock engine and checks the /metrics
+// per-class p99 gauge agrees with the quantile re-derived from the audit
+// stream's latencies — same values, same buckets, so they match exactly.
+func TestAuditMetricsAgreement(t *testing.T) {
+	o := obs.New()
+	var sink bytes.Buffer
+	rec := lifecycle.New(lifecycle.Options{Obs: o, Sink: &sink, SLO: time.Nanosecond})
+	eng, err := New(narrowNet(), Options{
+		Config:    cfgC4(o),
+		MaxBatch:  100,
+		MaxWait:   time.Millisecond,
+		TimeScale: 86400,
+		Audit:     rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Drain(context.Background())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	const n = 4
+	for i := 0; i < n; i++ {
+		if _, err := eng.SubmitWait(ctx, lineSubmission(20*time.Hour, int(model.High))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	class := int(model.High)
+	var lats []float64
+	for _, r := range rec.Records() {
+		if r.Kind != lifecycle.KindDecision {
+			continue
+		}
+		if r.DecisionLatencyS <= 0 {
+			t.Fatalf("wall-clock decision without latency: %+v", r)
+		}
+		lats = append(lats, r.DecisionLatency())
+	}
+	if len(lats) != n {
+		t.Fatalf("%d decision records, want %d", len(lats), n)
+	}
+	snap := o.Snapshot()
+	for _, q := range []struct {
+		name string
+		p    float64
+	}{
+		{"serve.decision_latency_class2_p50_seconds", 0.50},
+		{"serve.decision_latency_class2_p99_seconds", 0.99},
+	} {
+		gauge, ok := snap.Gauges[q.name]
+		if !ok {
+			t.Fatalf("gauge %s missing; class %d", q.name, class)
+		}
+		derived := obs.SnapshotValues(obs.DurationBuckets, lats).Quantile(q.p)
+		if gauge != derived {
+			t.Errorf("%s = %v but audit-derived quantile = %v", q.name, gauge, derived)
+		}
+	}
+	if got := snap.Counters["serve.slo_decision_latency_violations_total"]; got != n {
+		t.Errorf("slo violations = %d, want %d (1ns budget)", got, n)
+	}
+}

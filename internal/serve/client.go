@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"datastaging/internal/obs/lifecycle"
 )
 
 // Client is a typed client for the stagesvc HTTP API, used by the load
@@ -99,6 +101,33 @@ func (c *Client) Ticket(ctx context.Context, id string) (TicketView, error) {
 	var v TicketView
 	err := c.do(ctx, http.MethodGet, "/v1/requests/"+id, nil, &v)
 	return v, err
+}
+
+// Trace fetches one submission's full audit trail. Fails with a 404
+// ErrStatus when the service runs without auditing.
+func (c *Client) Trace(ctx context.Context, id string) (TraceView, error) {
+	var v TraceView
+	err := c.do(ctx, http.MethodGet, "/v1/requests/"+id+"/trace", nil, &v)
+	return v, err
+}
+
+// Audit fetches and validates the service's whole audit log (the /v1/audit
+// JSONL stream).
+func (c *Client) Audit(ctx context.Context) ([]lifecycle.Record, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(c.BaseURL, "/")+"/v1/audit", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &ErrStatus{Code: resp.StatusCode, Message: resp.Status}
+	}
+	return lifecycle.ReadJSONL(resp.Body)
 }
 
 // Schedule fetches the committed-schedule snapshot.

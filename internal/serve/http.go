@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 )
 
 // maxBodyBytes bounds a request body; submissions are small documents.
@@ -13,13 +14,16 @@ const maxBodyBytes = 1 << 20
 
 // Handler returns the service's HTTP API on a fresh mux:
 //
-//	POST /v1/requests       submit (body: Submission JSON; ?wait=1 blocks
-//	                        until the admission epoch decides)
-//	GET  /v1/requests/{id}  one ticket's current verdict
-//	GET  /v1/schedule       committed schedule + weighted objective
-//	POST /v1/advance        move the virtual clock (body: {"to": Instant})
-//	GET  /v1/info           service description for clients
-//	GET  /healthz           liveness
+//	POST /v1/requests             submit (body: Submission JSON; ?wait=1
+//	                              blocks until the admission epoch decides)
+//	GET  /v1/requests/{id}        one ticket's current verdict
+//	GET  /v1/requests/{id}/trace  the ticket's full audit trail (404 when
+//	                              auditing is off)
+//	GET  /v1/schedule             committed schedule + weighted objective
+//	GET  /v1/audit                the whole audit log as JSONL
+//	POST /v1/advance              move the virtual clock (body: {"to": Instant})
+//	GET  /v1/info                 service description for clients
+//	GET  /healthz                 liveness
 //
 // When the engine was built with an introspection server, its endpoints
 // (/metrics, /events, /runinfo, /debug/pprof/) are mounted on the same mux.
@@ -27,7 +31,9 @@ func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/requests", e.handleSubmit)
 	mux.HandleFunc("GET /v1/requests/{id}", e.handleTicket)
+	mux.HandleFunc("GET /v1/requests/{id}/trace", e.handleTrace)
 	mux.HandleFunc("GET /v1/schedule", e.handleSchedule)
+	mux.HandleFunc("GET /v1/audit", e.handleAudit)
 	mux.HandleFunc("POST /v1/advance", e.handleAdvance)
 	mux.HandleFunc("GET /v1/info", e.handleInfo)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -76,7 +82,7 @@ func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	t, err := e.Submit(sub)
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		httpError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrDraining):
@@ -109,6 +115,28 @@ func (e *Engine) handleTicket(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, v)
+}
+
+func (e *Engine) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !e.audit.Enabled() {
+		httpError(w, http.StatusNotFound, errors.New("auditing is disabled on this engine"))
+		return
+	}
+	if _, ok := e.TicketView(id); !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such request %q", id))
+		return
+	}
+	writeJSON(w, TraceView{ID: id, Records: e.audit.ForTicket(id)})
+}
+
+func (e *Engine) handleAudit(w http.ResponseWriter, _ *http.Request) {
+	if !e.audit.Enabled() {
+		httpError(w, http.StatusNotFound, errors.New("auditing is disabled on this engine"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = e.audit.WriteJSONL(w)
 }
 
 func (e *Engine) handleSchedule(w http.ResponseWriter, _ *http.Request) {

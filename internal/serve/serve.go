@@ -47,6 +47,7 @@ import (
 	"datastaging/internal/model"
 	"datastaging/internal/obs"
 	"datastaging/internal/obs/introspect"
+	"datastaging/internal/obs/lifecycle"
 	"datastaging/internal/scenario"
 	"datastaging/internal/simtime"
 	"datastaging/internal/state"
@@ -60,6 +61,10 @@ var (
 	// ErrDraining: the engine is shutting down and accepts no new work.
 	ErrDraining = errors.New("serve: draining, intake closed")
 )
+
+// retryAfterSeconds is the backoff hint a shed submission receives, both as
+// the HTTP Retry-After header and in its backpressure audit record.
+const retryAfterSeconds = 1
 
 // Options configures an admission engine.
 type Options struct {
@@ -99,6 +104,13 @@ type Options struct {
 	ForceFullReplay bool
 	// Intro, when non-nil, receives the live epoch phase for /runinfo.
 	Intro *introspect.Server
+	// Audit, when non-nil, receives one lifecycle record per admission
+	// decision (plus revisions and backpressure sheds). A nil recorder
+	// disables auditing entirely; the admission path then skips every
+	// audit hook, keeping steady-state allocations unchanged. With
+	// VirtualClock the recorder is forced deterministic so replayed audit
+	// streams are byte-stable.
+	Audit *lifecycle.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -134,6 +146,10 @@ type Ticket struct {
 	verdicts []RequestVerdict
 	route    []state.Transfer
 	resolved bool
+
+	// Audit context, captured only when the engine has a recorder.
+	arrivedWall time.Time
+	queueDepth  int // intake depth when the submission arrived
 }
 
 // ID returns the server-assigned ticket id.
@@ -170,6 +186,7 @@ type Engine struct {
 	opts  Options
 	o     *obs.Obs
 	intro *introspect.Server
+	audit *lifecycle.Recorder
 	start time.Time
 
 	mAdmitted, mRejected, mPreempted, mBackpressure, mEpochs *obs.Counter
@@ -190,6 +207,10 @@ type Engine struct {
 	nextID    int
 	epochs    int
 	lastEpoch simtime.Instant
+	// epochObjDelta is the weighted-objective gain of the kept preemption
+	// displacement in the in-flight epoch (0 when none happened); audit
+	// records of preempted tickets carry it.
+	epochObjDelta float64
 	oldest    time.Time // wall enqueue time of the oldest pending submission
 	fatal     error     // first replan failure; the engine wedges closed
 
@@ -266,6 +287,7 @@ func New(base *scenario.Scenario, opts Options) (*Engine, error) {
 		opts:      opts,
 		o:         opts.Config.Obs,
 		intro:     opts.Intro,
+		audit:     opts.Audit,
 		start:     time.Now(),
 		sc:        *base,
 		tickets:   make(map[string]*Ticket),
@@ -283,6 +305,11 @@ func New(base *scenario.Scenario, opts Options) (*Engine, error) {
 	e.dyn = dyn
 	if opts.ForceFullReplay {
 		dyn.SetFullReplay(true)
+	}
+	if opts.VirtualClock {
+		// Virtual-clock runs must replay byte-identically; strip wall-clock
+		// fields from every audit record.
+		e.audit.SetDeterministic(true)
 	}
 
 	e.mAdmitted = e.o.Counter("serve.admitted_total")
@@ -345,6 +372,19 @@ func (e *Engine) Submit(sub Submission) (*Ticket, error) {
 	}
 	if len(e.queue) >= e.opts.QueueCap {
 		e.mBackpressure.Inc()
+		if e.audit.Enabled() {
+			e.audit.Append(&lifecycle.Record{
+				Kind: lifecycle.KindBackpressure,
+				Item: -1,
+				Name: sub.Name,
+				Timeline: []lifecycle.Hop{
+					{Stage: lifecycle.StageReceived, V: int64(e.nowLocked())},
+				},
+				QueueDepth:  len(e.queue),
+				Status:      "backpressure",
+				RetryAfterS: retryAfterSeconds,
+			})
+		}
 		e.mu.Unlock()
 		return nil, ErrOverloaded
 	}
@@ -356,6 +396,10 @@ func (e *Engine) Submit(sub Submission) (*Ticket, error) {
 		arrived: e.nowLocked(),
 		item:    -1,
 		status:  StatusQueued,
+	}
+	if e.audit.Enabled() {
+		t.arrivedWall = time.Now()
+		t.queueDepth = len(e.queue)
 	}
 	e.nextID++
 	if len(e.queue) == 0 {
@@ -515,6 +559,12 @@ func (e *Engine) flushLocked(at simtime.Instant) {
 	e.gQueue.Set(0)
 	e.qdepth.Store(0)
 	span := e.epochTimer.Start()
+	auditing := e.audit.Enabled()
+	var aw auditWalls
+	if auditing {
+		e.epochObjDelta = 0
+		aw.epochStart = time.Now()
+	}
 	e.epochs++
 	e.mEpochs.Inc()
 	e.lastEpoch = at
@@ -542,6 +592,9 @@ func (e *Engine) flushLocked(at simtime.Instant) {
 		span.Stop()
 		return
 	}
+	if auditing {
+		aw.planned = time.Now()
+	}
 	if e.opts.Preemption {
 		e.preemptLocked(at, batch)
 		if e.fatal != nil {
@@ -549,8 +602,15 @@ func (e *Engine) flushLocked(at simtime.Instant) {
 			return
 		}
 	}
-	e.settleLocked(batch)
+	revised := e.settleLocked(batch)
+	if auditing {
+		aw.decided = time.Now()
+	}
 	e.publishLocked()
+	if auditing {
+		aw.settled = time.Now()
+		e.emitAuditLocked(at, batch, revised, aw)
+	}
 	for _, t := range batch {
 		e.flushed = append(e.flushed, t)
 		if !t.resolved {
@@ -646,7 +706,8 @@ func (e *Engine) preemptLocked(at simtime.Instant, batch []*Ticket) {
 		e.failLocked(err, batch)
 		return
 	}
-	if e.weightedValueLocked() > prevValue {
+	if newValue := e.weightedValueLocked(); newValue > prevValue {
+		e.epochObjDelta = newValue - prevValue
 		newSat := e.dyn.Satisfied()
 		for id := range prevSat {
 			if _, ok := newSat[id]; !ok {
@@ -705,13 +766,30 @@ func (e *Engine) weightedValueLocked() float64 {
 // (the unsettled list) can late-admit and need re-examining. Full-replay
 // epochs rewrote the past (preemption, rollback), so every flushed ticket
 // is re-settled and the unsettled list is rebuilt from scratch.
-func (e *Engine) settleLocked(batch []*Ticket) {
+// settleLocked returns the previously-flushed tickets whose verdicts this
+// epoch changed (late admission, preemption) — the revision records the
+// audit log emits. Revision detection only runs when auditing is on; the
+// returned slice is nil otherwise.
+func (e *Engine) settleLocked(batch []*Ticket) (revised []*Ticket) {
 	sat := e.dyn.Satisfied()
 	st := e.dyn.State()
+	auditing := e.audit.Enabled()
+
+	resettle := func(t *Ticket) {
+		if !auditing {
+			e.settleTicketLocked(t, sat, st, false)
+			return
+		}
+		before := t.verdictStatuses()
+		e.settleTicketLocked(t, sat, st, false)
+		if t.verdictsChanged(before) {
+			revised = append(revised, t)
+		}
+	}
 
 	if e.dyn.LastEpoch().Full {
 		for _, t := range e.flushed {
-			e.settleTicketLocked(t, sat, st, false)
+			resettle(t)
 		}
 		e.unsettled = e.unsettled[:0]
 		for _, t := range e.flushed {
@@ -722,7 +800,7 @@ func (e *Engine) settleLocked(batch []*Ticket) {
 	} else {
 		keep := e.unsettled[:0]
 		for _, t := range e.unsettled {
-			e.settleTicketLocked(t, sat, st, false)
+			resettle(t)
 			if !e.settledForGoodLocked(t) {
 				keep = append(keep, t)
 			}
@@ -735,6 +813,7 @@ func (e *Engine) settleLocked(batch []*Ticket) {
 			e.unsettled = append(e.unsettled, t)
 		}
 	}
+	return revised
 }
 
 // settledForGoodLocked reports whether no later epoch can change the
@@ -896,6 +975,24 @@ func (e *Engine) Scenario() *scenario.Scenario {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return &e.sc
+}
+
+// Result synthesizes a core.Result over the committed world — the shape the
+// offline renderers (report tables, chrometrace) consume. Like Scenario,
+// only safe once the engine is quiescent (after Drain).
+func (e *Engine) Result() *core.Result {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sat := e.dyn.Satisfied()
+	out := &core.Result{
+		Config:    e.opts.Config,
+		Transfers: append([]state.Transfer(nil), e.dyn.Transfers()...),
+		Satisfied: make(map[model.RequestID]simtime.Instant, len(sat)),
+	}
+	for id, at := range sat {
+		out.Satisfied[id] = at
+	}
+	return out
 }
 
 // Err reports the first fatal replan error, if any.

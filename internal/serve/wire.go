@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"datastaging/internal/model"
+	"datastaging/internal/obs/lifecycle"
 	"datastaging/internal/simtime"
 	"datastaging/internal/state"
 )
@@ -191,6 +192,14 @@ type TicketView struct {
 	Requests []RequestVerdict `json:"requests,omitempty"`
 	// Route is the item's committed transfer chain (admitted tickets).
 	Route []state.Transfer `json:"route,omitempty"`
+}
+
+// TraceView is the audit trail of one submission: the JSON document of GET
+// /v1/requests/{id}/trace. Records is empty for a ticket still awaiting its
+// admission epoch.
+type TraceView struct {
+	ID      string             `json:"id"`
+	Records []lifecycle.Record `json:"records"`
 }
 
 // ScheduleView is the committed-schedule snapshot served at GET

@@ -4,13 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 	"time"
 
 	"datastaging/internal/bounds"
 	"datastaging/internal/core"
 	"datastaging/internal/dynamic"
 	"datastaging/internal/model"
+	"datastaging/internal/obs"
 	"datastaging/internal/scenario"
 	"datastaging/internal/simtime"
 )
@@ -227,17 +227,17 @@ func saturatePoint(opts SaturationOptions, load float64, machines int, now func(
 	if pt.UpperBound > 0 {
 		pt.Efficiency = value / pt.UpperBound
 	}
-	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
-	pt.P50 = percentile(latencies, 50)
-	pt.P99 = percentile(latencies, 99)
-	return pt, nil
-}
-
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
+	// Quantiles come from the shared histogram interpolation (the same
+	// obs.DurationBuckets the admission service's /metrics gauges use), so
+	// analyzer and service report comparable numbers.
+	secs := make([]float64, len(latencies))
+	for i, d := range latencies {
+		secs[i] = d.Seconds()
 	}
-	return sorted[int(p/100*float64(len(sorted)-1))]
+	snap := obs.SnapshotValues(obs.DurationBuckets, secs)
+	pt.P50 = time.Duration(snap.Quantile(0.50) * float64(time.Second))
+	pt.P99 = time.Duration(snap.Quantile(0.99) * float64(time.Second))
+	return pt, nil
 }
 
 // CheckMonotone verifies the admission rate never rises by more than

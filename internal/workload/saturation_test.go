@@ -9,6 +9,7 @@ import (
 	"datastaging/internal/core"
 	"datastaging/internal/gen"
 	"datastaging/internal/model"
+	"datastaging/internal/obs"
 )
 
 // counterClock returns a deterministic Now: each call advances 1 ms, so
@@ -78,9 +79,15 @@ func TestSaturateDeterministic(t *testing.T) {
 		if pt.WeightedValue > pt.UpperBound+1e-9 {
 			t.Fatalf("point %d value %v exceeds upper bound %v", i, pt.WeightedValue, pt.UpperBound)
 		}
-		// Under the counter clock every epoch lasts exactly one tick.
-		if pt.P50 != time.Millisecond || pt.P99 != time.Millisecond {
-			t.Fatalf("point %d latencies p50=%v p99=%v under the 1ms counter clock", i, pt.P50, pt.P99)
+		// Under the counter clock every epoch lasts exactly one tick, so
+		// the quantiles must equal the shared bucket interpolation of a
+		// pure-1ms sample — the same math the service's /metrics gauges use.
+		one := obs.SnapshotValues(obs.DurationBuckets, []float64{0.001})
+		wantP50 := time.Duration(one.Quantile(0.50) * float64(time.Second))
+		wantP99 := time.Duration(one.Quantile(0.99) * float64(time.Second))
+		if pt.P50 != wantP50 || pt.P99 != wantP99 {
+			t.Fatalf("point %d latencies p50=%v p99=%v, want interpolated %v/%v",
+				i, pt.P50, pt.P99, wantP50, wantP99)
 		}
 		if pt.Epochs <= 0 {
 			t.Fatalf("point %d ran no epochs", i)

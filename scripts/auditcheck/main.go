@@ -1,0 +1,71 @@
+// Command auditcheck validates a stagesvc audit JSONL file the way CI
+// needs it validated before anyone trusts it as a forensic record: every
+// line decodes against the wide-event schema (known schema version and
+// kind, required fields, a non-empty timeline with monotone virtual and
+// wall stamps — lifecycle.Record.Validate), the seq numbers are strictly
+// increasing with no gaps, and the stream contains at least one admission
+// decision. It reuses the same decoder the service's own /v1/audit client
+// uses, so the file-on-disk contract and the wire contract cannot drift
+// apart. Invoked by `make audit-smoke`.
+//
+// Usage: auditcheck audit.jsonl [more.jsonl ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"datastaging/internal/obs/lifecycle"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: auditcheck audit.jsonl [more.jsonl ...]")
+		os.Exit(2)
+	}
+	status := 0
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "auditcheck: %s: %v\n", path, err)
+			status = 1
+		}
+	}
+	os.Exit(status)
+}
+
+func check(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// ReadJSONL runs lifecycle.Record.Validate on every line: schema
+	// version, kind, status, timeline presence and monotonicity.
+	recs, err := lifecycle.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("no audit records")
+	}
+	var decisions, revisions, shed int
+	for i, r := range recs {
+		if r.Seq != i {
+			return fmt.Errorf("line %d: seq %d, want %d (audit log has gaps or reordering)", i+1, r.Seq, i)
+		}
+		switch r.Kind {
+		case lifecycle.KindDecision:
+			decisions++
+		case lifecycle.KindRevision:
+			revisions++
+		case lifecycle.KindBackpressure:
+			shed++
+		}
+	}
+	if decisions == 0 {
+		return fmt.Errorf("%d records but no admission decisions", len(recs))
+	}
+	fmt.Printf("%s: ok (%d records: %d decisions, %d revisions, %d backpressure)\n",
+		path, len(recs), decisions, revisions, shed)
+	return nil
+}

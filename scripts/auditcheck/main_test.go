@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"datastaging/internal/obs/lifecycle"
+)
+
+func writeRecords(t *testing.T, recs []lifecycle.Record) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		b, err := lifecycle.Encode(&recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func validRecord(seq int) lifecycle.Record {
+	return lifecycle.Record{
+		Schema: lifecycle.SchemaVersion,
+		Seq:    seq,
+		Kind:   lifecycle.KindDecision,
+		Ticket: "r-0",
+		Item:   0,
+		Timeline: []lifecycle.Hop{
+			{Stage: lifecycle.StageReceived, V: 0},
+			{Stage: lifecycle.StageDecided, V: 1000},
+		},
+		Status: "admitted",
+	}
+}
+
+func TestCheckAcceptsValidStream(t *testing.T) {
+	path := writeRecords(t, []lifecycle.Record{validRecord(0), validRecord(1)})
+	if err := check(path); err != nil {
+		t.Errorf("valid stream rejected: %v", err)
+	}
+}
+
+func TestCheckRejects(t *testing.T) {
+	gapped := validRecord(0)
+	skip := validRecord(2) // seq 1 missing
+	shedOnly := validRecord(0)
+	shedOnly.Kind = lifecycle.KindBackpressure
+	shedOnly.Ticket = ""
+	shedOnly.Item = -1
+	shedOnly.Status = "backpressure"
+	badSchema := validRecord(0)
+	badSchema.Schema = 99
+
+	cases := []struct {
+		name string
+		recs []lifecycle.Record
+		want string
+	}{
+		{"seq gap", []lifecycle.Record{gapped, skip}, "seq"},
+		{"no decisions", []lifecycle.Record{shedOnly}, "no admission decisions"},
+		{"unknown schema", []lifecycle.Record{badSchema}, "schema"},
+		{"empty", nil, "no audit records"},
+	}
+	for _, tc := range cases {
+		path := writeRecords(t, tc.recs)
+		err := check(path)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	if err := check(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
