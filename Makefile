@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json bench-regress bench-smoke serve-smoke soak-smoke saturation-smoke audit-smoke trace-check cover cover-check fuzz study examples clean
+.PHONY: all build vet test test-short race bench bench-json bench-regress bench-smoke serve-smoke soak-smoke saturation-smoke audit-smoke shard-smoke trace-check cover cover-check fuzz study examples clean
 
 all: build vet test
 
@@ -74,6 +74,13 @@ saturation-smoke:
 # .audit-smoke.jsonl for CI to upload.
 audit-smoke:
 	sh scripts/audit_smoke.sh
+
+# Replay the bursty builtin trace through stagesvc single-world and at
+# -shards 4, require a validator-clean merged schedule, the merged JSON
+# artifact, and a sharded weighted objective within the documented
+# tolerance of the single world's.
+shard-smoke:
+	sh scripts/shard_smoke.sh
 
 # Export a Perfetto trace from a paper-scale run and validate its
 # structure: well-formed JSON, non-empty, monotone timestamps per track,

@@ -8,12 +8,15 @@
 //	stageload -url http://127.0.0.1:8080 [-n 200] [-seed 1] [-workers 8]
 //	          [-size-min BYTES] [-size-max BYTES]
 //	          [-slack-min DUR] [-slack-max DUR] [-max-priority 2]
-//	          [-backoff DUR] [-timeout DUR] [-min-admitted N]
+//	          [-backoff DUR] [-backoff-max DUR] [-timeout DUR] [-min-admitted N]
 //	          [-windows K] [-max-slope X]
 //	          [-trace FILE] [-class-summary]
 //
 // Each worker keeps one submission in flight (POST /v1/requests?wait=1),
-// backing off and retrying on 429. -min-admitted makes the run a check:
+// backing off and retrying on 429 with seeded jittered exponential delays
+// (base -backoff doubled per attempt up to -backoff-max, each sleep drawn
+// from the run's own seed so retry timing replays exactly; set
+// -backoff-max at or below -backoff for the legacy fixed delay). -min-admitted makes the run a check:
 // the exit status is non-zero unless at least that many submissions were
 // admitted — the smoke test's assertion.
 //
@@ -74,7 +77,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	slackMin := fs.Duration("slack-min", time.Hour, "minimum deadline slack past the service's now")
 	slackMax := fs.Duration("slack-max", 8*time.Hour, "maximum deadline slack")
 	maxPriority := fs.Int("max-priority", 2, "priorities drawn uniformly from [0, this]")
-	backoff := fs.Duration("backoff", 50*time.Millisecond, "retry delay after a 429")
+	backoff := fs.Duration("backoff", 50*time.Millisecond, "base retry delay after a 429")
+	backoffMax := fs.Duration("backoff-max", time.Second,
+		"cap of the jittered exponential retry schedule (at or below -backoff: fixed delay)")
 	timeout := fs.Duration("timeout", 2*time.Minute, "overall run budget")
 	minAdmitted := fs.Int("min-admitted", 0, "fail unless at least this many submissions were admitted")
 	windows := fs.Int("windows", 0,
@@ -122,6 +127,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	p.SlackMin, p.SlackMax = *slackMin, *slackMax
 	p.MaxPriority = *maxPriority
 	p.Backoff = *backoff
+	p.BackoffMax = *backoffMax
 
 	rep, err := serve.RunLoad(ctx, &serve.Client{BaseURL: *url}, p)
 	if err != nil {

@@ -18,6 +18,18 @@
 //	         [-no-diagnose] [-force-full-replay] [-drain-timeout DUR]
 //	         [-replay-trace FILE] [-audit] [-audit-out FILE]
 //	         [-decision-slo DUR] [-chrome-trace-out FILE]
+//	         [-shards N] [-shard-map FILE] [-schedule-out FILE]
+//
+// Sharded mode: -shards N partitions the network into N regions (greedy
+// balanced min-cut; -shard-map FILE supplies an explicit
+// {"shards": [[0,1],[2,3]]} document instead), runs one admission engine
+// per region, admits in-shard submissions with zero coordination, and
+// settles cross-shard submissions through a two-level offer/commit round.
+// The HTTP surface is unchanged; GET /v1/schedule merges all shards,
+// GET /v1/info reports the partition, and GET /v1/shards/{k}/info one
+// region. Requires starting empty (no -with-items); -chrome-trace-out is
+// single-engine only. -schedule-out FILE writes the final (merged)
+// schedule view as JSON on exit in either mode.
 //
 // Replay mode: -replay-trace FILE (requires -virtual-clock) starts the
 // service, replays the canonical trace against its own HTTP endpoint —
@@ -51,6 +63,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -67,6 +80,8 @@ import (
 	"datastaging/internal/obs/introspect"
 	"datastaging/internal/obs/lifecycle"
 	"datastaging/internal/serve"
+	"datastaging/internal/shard"
+	"datastaging/internal/validator"
 	"datastaging/internal/workload"
 )
 
@@ -119,11 +134,26 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"per-request decision-latency budget; violations count in slo_decision_latency_violations_total (implies -audit)")
 	chromeOut := fs.String("chrome-trace-out", "",
 		"write a Perfetto trace of the final schedule and per-request lifecycles on exit (implies -audit)")
+	shards := fs.Int("shards", 1,
+		"partition the network into this many admission regions with a two-level cross-shard protocol")
+	shardMap := fs.String("shard-map", "",
+		`explicit partition file ({"shards": [[0,1],[2,3]]}) instead of the greedy planner (implies sharded mode)`)
+	scheduleOut := fs.String("schedule-out", "",
+		"write the final (merged) schedule view as JSON to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *auditOut != "" || *decisionSLO > 0 || *chromeOut != "" {
 		*audit = true
+	}
+	sharded := *shards > 1 || *shardMap != ""
+	if sharded {
+		if *withItems {
+			return fmt.Errorf("-shards needs an empty starting scenario; drop -with-items")
+		}
+		if *chromeOut != "" {
+			return fmt.Errorf("-chrome-trace-out is single-engine only; drop -shards")
+		}
 	}
 
 	var tr *workload.Trace
@@ -196,7 +226,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		recorder = lifecycle.New(lifecycle.Options{Obs: o, Sink: sink, SLO: *decisionSLO})
 	}
 
-	eng, err := serve.New(sc, serve.Options{
+	engOpts := serve.Options{
 		Config:          cfg,
 		MaxBatch:        *maxBatch,
 		MaxWait:         *maxWait,
@@ -208,9 +238,54 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ForceFullReplay: *forceFullReplay,
 		Intro:           intro,
 		Audit:           recorder,
-	})
-	if err != nil {
-		return err
+	}
+	var (
+		eng     *serve.Engine
+		svc     *shard.Service
+		handler http.Handler
+	)
+	if sharded {
+		var plan *shard.Plan
+		if *shardMap != "" {
+			plan, err = shard.ReadPlanFile(*shardMap, sc.Network)
+		} else {
+			plan, err = shard.Greedy(sc.Network, *shards)
+		}
+		if err != nil {
+			return err
+		}
+		prep := plan.Report(sc.Network)
+		so := engOpts
+		so.Intro = nil // the service registers per-shard live stats itself
+		svc, err = shard.New(sc, plan, shard.Options{Engine: so, Intro: intro})
+		if err != nil {
+			return err
+		}
+		handler = svc.Handler()
+		fmt.Fprintf(out, "stagesvc: partitioned into %d shards (%d cut links, %d bps cut bandwidth)\n",
+			prep.Shards, prep.CutLinks, prep.CutBandwidthBPS)
+		if len(prep.Disconnected) > 0 {
+			fmt.Fprintf(out, "stagesvc: warning: shards %v are internally disconnected; "+
+				"requests needing a cross-region route there will be rejected\n", prep.Disconnected)
+		}
+	} else {
+		eng, err = serve.New(sc, engOpts)
+		if err != nil {
+			return err
+		}
+		handler = eng.Handler()
+	}
+	schedule := func() serve.ScheduleView {
+		if sharded {
+			return svc.Schedule()
+		}
+		return eng.Schedule()
+	}
+	drain := func(ctx context.Context) error {
+		if sharded {
+			return svc.Drain(ctx)
+		}
+		return eng.Drain(ctx)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -223,17 +298,37 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		testHookReady(ln.Addr().String())
 	}
 
-	srv := &http.Server{Handler: eng.Handler()}
+	srv := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 
-	// finish reports the drained engine's final schedule plus the audit
+	// finish reports the drained service's final schedule plus the audit
 	// artifacts; both exit paths (replay mode and graceful drain) share it.
 	finish := func() error {
-		sv := eng.Schedule()
+		sv := schedule()
 		fmt.Fprintf(out, "stagesvc: final schedule: %d epochs, %d/%d requests satisfied, "+
 			"%d transfers, weighted value %.1f\n",
 			sv.Epochs, sv.Satisfied, sv.TotalRequests, len(sv.Transfers), sv.WeightedValue)
+		if sharded {
+			// The per-shard engines each guarantee their own world; the merge
+			// plus the coordinator's cut transfers is what only the
+			// independent validator can vouch for.
+			if err := validator.Validate(svc.Scenario(), sv.Transfers); err != nil {
+				return fmt.Errorf("merged schedule failed validation: %w", err)
+			}
+			fmt.Fprintf(out, "stagesvc: validator: merged schedule clean across %d shards\n",
+				svc.Plan().NumShards())
+		}
+		if *scheduleOut != "" {
+			b, err := json.MarshalIndent(sv, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*scheduleOut, append(b, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "stagesvc: wrote final schedule to %s\n", *scheduleOut)
+		}
 		if recorder != nil {
 			if err := recorder.SinkErr(); err != nil {
 				return fmt.Errorf("audit sink: %w", err)
@@ -272,7 +367,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			tr.Name, rep.Requests, rep.Admitted, rep.Rejected)
 		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		if err := eng.Drain(dctx); err != nil {
+		if err := drain(dctx); err != nil {
 			return fmt.Errorf("drain: %w", err)
 		}
 		if err := srv.Shutdown(dctx); err != nil {
@@ -292,7 +387,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintln(out, "stagesvc: draining")
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	drainErr := eng.Drain(dctx)
+	drainErr := drain(dctx)
 	if err := srv.Shutdown(dctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}

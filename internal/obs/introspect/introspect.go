@@ -49,6 +49,7 @@ type Server struct {
 	info  RunInfo
 	phase string
 	stats map[string]string
+	live  map[string]func() string
 }
 
 // NewServer returns a server exposing the given observability handles
@@ -91,6 +92,24 @@ func (s *Server) SetStat(key, value string) {
 		s.stats = make(map[string]string)
 	}
 	s.stats[key] = value
+	s.mu.Unlock()
+}
+
+// SetLiveStat registers a computed statistic: fn is evaluated at /runinfo
+// render time and its result appears under "stats" alongside SetStat
+// values (which a live stat of the same key shadows). Functions must be
+// safe to call from the serving goroutine and should read lock-free
+// snapshots; the sharded admission service uses this for per-shard epoch
+// counters that change on every flush.
+func (s *Server) SetLiveStat(key string, fn func() string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.live == nil {
+		s.live = make(map[string]func() string)
+	}
+	s.live[key] = fn
 	s.mu.Unlock()
 }
 
@@ -194,13 +213,22 @@ type runinfoResponse struct {
 func (s *Server) runinfo(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	resp := runinfoResponse{RunInfo: s.info, Phase: s.phase}
-	if len(s.stats) > 0 {
-		resp.Stats = make(map[string]string, len(s.stats))
+	if len(s.stats)+len(s.live) > 0 {
+		resp.Stats = make(map[string]string, len(s.stats)+len(s.live))
 		for k, v := range s.stats {
 			resp.Stats[k] = v
 		}
 	}
+	live := make(map[string]func() string, len(s.live))
+	for k, fn := range s.live {
+		live[k] = fn
+	}
 	s.mu.Unlock()
+	// Live stats are evaluated outside the lock: the functions read their
+	// own snapshots and must not be able to deadlock against SetStat.
+	for k, fn := range live {
+		resp.Stats[k] = fn()
+	}
 	writeJSON(w, resp)
 }
 

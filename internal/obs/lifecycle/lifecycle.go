@@ -130,6 +130,12 @@ type Record struct {
 	ObjectiveDelta float64 `json:"objectiveDelta,omitempty"`
 	// RetryAfterS echoes the backpressure retry hint, seconds.
 	RetryAfterS float64 `json:"retryAfterS,omitempty"`
+	// Shard is the admission shard that decided the submission, present
+	// only when the record came from a sharded service (stagesvc -shards):
+	// several per-shard engines share one recorder there, and machine and
+	// link indices inside the record are local to this shard's projected
+	// sub-network.
+	Shard *int `json:"shard,omitempty"`
 	// DecisionLatencyS is the wall-clock seconds from receipt to verdict.
 	// Omitted in deterministic mode (see DecisionLatency).
 	DecisionLatencyS float64 `json:"decisionLatencyS,omitempty"`

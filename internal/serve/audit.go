@@ -85,6 +85,7 @@ func (e *Engine) auditRecordLocked(kind lifecycle.Kind, t *Ticket,
 		DeltaItems:        es.DeltaItems,
 		Status:            string(t.status),
 		DecisionLatencyS:  wall(aw.decided),
+		Shard:             e.opts.Shard,
 	}
 	if t.status == StatusPreempted && e.epochObjDelta != 0 {
 		rec.ObjectiveDelta = e.epochObjDelta

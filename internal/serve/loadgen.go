@@ -31,9 +31,17 @@ type LoadParams struct {
 	SlackMin, SlackMax time.Duration
 	// MaxPriority draws priorities uniformly from [0, MaxPriority].
 	MaxPriority int
-	// Backoff sleeps this long after a 429 before retrying (the retry
-	// re-submits the same submission; it still counts once).
+	// Backoff is the base retry delay after a 429 (the retry re-submits
+	// the same submission; it still counts once).
 	Backoff time.Duration
+	// BackoffMax caps the jittered exponential retry schedule: attempt a
+	// sleeps a seeded-random duration in [b/2, b) where b is Backoff
+	// doubled a times, capped at BackoffMax. The jitter is drawn from the
+	// generator's own seed (mixed with the submission index and attempt),
+	// so a load run's retry timing is as reproducible as its submission
+	// stream. A BackoffMax at or below Backoff restores the legacy fixed
+	// delay.
+	BackoffMax time.Duration
 }
 
 // DefaultLoadParams returns the stageload defaults: small items with an
@@ -49,7 +57,36 @@ func DefaultLoadParams(seed int64, n int) LoadParams {
 		SlackMax:    8 * time.Hour,
 		MaxPriority: 2,
 		Backoff:     50 * time.Millisecond,
+		BackoffMax:  time.Second,
 	}
+}
+
+// BackoffDelay returns the retry delay of the i-th submission's attempt-th
+// 429 (attempt counts from 0). Deterministic: the jitter RNG is seeded
+// from the load seed, the submission index, and the attempt, so two runs
+// of the same parameters sleep identically. The exponential-with-jitter
+// schedule decorrelates the retry herd a fixed delay creates: when a
+// flushed epoch sheds a whole batch, fixed-backoff workers all come back
+// in the same instant and collide again.
+func BackoffDelay(p LoadParams, i, attempt int) time.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	if p.BackoffMax <= p.Backoff {
+		return p.Backoff // legacy fixed delay
+	}
+	base := p.Backoff
+	for a := 0; a < attempt && base < p.BackoffMax; a++ {
+		base *= 2
+	}
+	if base > p.BackoffMax {
+		base = p.BackoffMax
+	}
+	if base < 2 {
+		return base
+	}
+	rng := rand.New(rand.NewSource(p.Seed ^ int64(i)*0x5851F42D4C957F2D ^ int64(attempt+1)*0x2545F4914F6CDD1D))
+	return base/2 + time.Duration(rng.Int63n(int64(base/2)))
 }
 
 // LoadReport is the outcome of one load run.
@@ -297,7 +334,7 @@ func ReplayTrace(ctx context.Context, c *Client, tr *workload.Trace) (*LoadRepor
 
 // RunLoad drives a deterministic closed-loop load against a stagesvc
 // endpoint: Workers goroutines each submit with ?wait=1, retrying on 429
-// after Backoff, until Requests submissions have a verdict.
+// on the BackoffDelay schedule, until Requests submissions have a verdict.
 func RunLoad(ctx context.Context, c *Client, p LoadParams) (*LoadReport, error) {
 	if p.Requests <= 0 {
 		return nil, fmt.Errorf("serve: load run needs a positive request count")
@@ -339,7 +376,7 @@ func RunLoad(ctx context.Context, c *Client, p LoadParams) (*LoadReport, error) 
 				sub := GenSubmission(p, info, i)
 				start := time.Now()
 				var view TicketView
-				for {
+				for attempt := 0; ; attempt++ {
 					var err error
 					view, err = c.Submit(ctx, sub, true)
 					if st, ok := err.(*ErrStatus); ok && st.IsOverloaded() {
@@ -347,7 +384,7 @@ func RunLoad(ctx context.Context, c *Client, p LoadParams) (*LoadReport, error) 
 						rep.Overloaded++
 						mu.Unlock()
 						select {
-						case <-time.After(p.Backoff):
+						case <-time.After(BackoffDelay(p, i, attempt)):
 							continue
 						case <-ctx.Done():
 							return

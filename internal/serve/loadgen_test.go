@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDelay(t *testing.T) {
+	p := DefaultLoadParams(7, 100) // Backoff 50ms, BackoffMax 1s
+
+	// Deterministic: same (seed, submission, attempt) → same delay.
+	for attempt := 0; attempt < 8; attempt++ {
+		a := BackoffDelay(p, 3, attempt)
+		b := BackoffDelay(p, 3, attempt)
+		if a != b {
+			t.Fatalf("attempt %d not deterministic: %v vs %v", attempt, a, b)
+		}
+	}
+
+	// Every delay of attempt a lies in [b/2, b) for b = Backoff·2^a capped
+	// at BackoffMax.
+	for i := 0; i < 20; i++ {
+		for attempt := 0; attempt < 10; attempt++ {
+			base := p.Backoff
+			for a := 0; a < attempt && base < p.BackoffMax; a++ {
+				base *= 2
+			}
+			if base > p.BackoffMax {
+				base = p.BackoffMax
+			}
+			d := BackoffDelay(p, i, attempt)
+			if d < base/2 || d >= base {
+				t.Fatalf("submission %d attempt %d: delay %v outside [%v, %v)", i, attempt, d, base/2, base)
+			}
+		}
+	}
+
+	// The schedule grows towards the cap: a late attempt's floor exceeds the
+	// first attempt's ceiling, and the cap is never crossed.
+	if early, late := BackoffDelay(p, 1, 0), BackoffDelay(p, 1, 6); late <= early {
+		t.Fatalf("no growth: attempt 0 %v, attempt 6 %v", early, late)
+	}
+	if d := BackoffDelay(p, 1, 40); d >= p.BackoffMax {
+		t.Fatalf("attempt 40 delay %v not under cap %v", d, p.BackoffMax)
+	}
+
+	// Jitter decorrelates submissions and attempts.
+	if BackoffDelay(p, 1, 5) == BackoffDelay(p, 2, 5) &&
+		BackoffDelay(p, 1, 6) == BackoffDelay(p, 2, 6) &&
+		BackoffDelay(p, 1, 7) == BackoffDelay(p, 2, 7) {
+		t.Fatal("jitter identical across submissions on three attempts")
+	}
+
+	// Different seeds reshuffle the jitter.
+	q := p
+	q.Seed = 8
+	if BackoffDelay(p, 1, 5) == BackoffDelay(q, 1, 5) &&
+		BackoffDelay(p, 1, 6) == BackoffDelay(q, 1, 6) &&
+		BackoffDelay(p, 1, 7) == BackoffDelay(q, 1, 7) {
+		t.Fatal("jitter identical across seeds on three attempts")
+	}
+
+	// BackoffMax at or below Backoff: the legacy fixed delay, no jitter.
+	q = p
+	q.BackoffMax = p.Backoff
+	for attempt := 0; attempt < 4; attempt++ {
+		if d := BackoffDelay(q, 0, attempt); d != p.Backoff {
+			t.Fatalf("legacy mode attempt %d: %v, want fixed %v", attempt, d, p.Backoff)
+		}
+	}
+
+	// No backoff configured: no sleep.
+	q = p
+	q.Backoff = 0
+	if d := BackoffDelay(q, 0, 0); d != 0 {
+		t.Fatalf("zero backoff slept %v", d)
+	}
+
+	// Sub-nanosecond bases cannot draw jitter; returned as-is.
+	q = p
+	q.Backoff = 1
+	q.BackoffMax = 10 * time.Millisecond
+	if d := BackoffDelay(q, 0, 0); d != 1 {
+		t.Fatalf("1ns base returned %v", d)
+	}
+}

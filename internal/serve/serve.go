@@ -111,6 +111,15 @@ type Options struct {
 	// VirtualClock the recorder is forced deterministic so replayed audit
 	// streams are byte-stable.
 	Audit *lifecycle.Recorder
+	// TicketPrefix prefixes every minted ticket id (e.g. "s0-" yields
+	// "s0-r-0"). A front-end that multiplexes several engines behind one
+	// API (internal/shard) uses it to keep ids globally unique and
+	// routable back to their engine. Empty for the classic single-engine
+	// service, so existing ids ("r-0") are unchanged.
+	TicketPrefix string
+	// Shard, when non-nil, tags every audit record this engine emits with
+	// the shard index, so a shared recorder's stream stays attributable.
+	Shard *int
 }
 
 func (o Options) withDefaults() Options {
@@ -383,6 +392,7 @@ func (e *Engine) Submit(sub Submission) (*Ticket, error) {
 				QueueDepth:  len(e.queue),
 				Status:      "backpressure",
 				RetryAfterS: retryAfterSeconds,
+				Shard:       e.opts.Shard,
 			})
 		}
 		e.mu.Unlock()
@@ -390,7 +400,7 @@ func (e *Engine) Submit(sub Submission) (*Ticket, error) {
 	}
 	t := &Ticket{
 		eng:     e,
-		id:      fmt.Sprintf("r-%d", e.nextID),
+		id:      fmt.Sprintf("%sr-%d", e.opts.TicketPrefix, e.nextID),
 		sub:     sub,
 		done:    make(chan struct{}),
 		arrived: e.nowLocked(),

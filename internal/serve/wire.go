@@ -95,6 +95,17 @@ func (s Submission) item(id model.ItemID) model.Item {
 	return it
 }
 
+// Item converts the submission into the scenario item it becomes at
+// admission time (the sharded front-end builds its global scenario from
+// these).
+func (s Submission) Item(id model.ItemID) model.Item { return s.item(id) }
+
+// Validate rejects malformed submissions against a network of the given
+// size, mirroring scenario.Validate's per-item invariants. Engines run it
+// on Submit; the sharded front-end runs it once against the global network
+// before classifying the submission.
+func (s Submission) Validate(numMachines int) error { return s.validate(numMachines) }
+
 // validate rejects malformed submissions before they enter the intake
 // queue, mirroring scenario.Validate's per-item invariants.
 func (s Submission) validate(numMachines int) error {
@@ -216,6 +227,8 @@ type ScheduleView struct {
 
 // Info is the service description served at GET /v1/info: what a load
 // generator needs to synthesize valid submissions, plus live queue state.
+// A sharded service (stagesvc -shards) additionally reports the partition:
+// one ShardInfo per region plus the cut-link summary.
 type Info struct {
 	Scenario  string  `json:"scenario"`
 	Machines  int     `json:"machines"`
@@ -229,4 +242,22 @@ type Info struct {
 	Virtual   bool    `json:"virtualClock"`
 	Scheduler string  `json:"scheduler"`
 	Draining  bool    `json:"draining"`
+	// Shards describes each admission region of a sharded service, in
+	// shard order; absent on a single-engine service.
+	Shards []ShardInfo `json:"shards,omitempty"`
+	// CutLinks counts the virtual links the partition severed (links whose
+	// endpoints live in different shards); those carry only coordinator-
+	// committed cross-shard transfers.
+	CutLinks int `json:"cutLinks,omitempty"`
+}
+
+// ShardInfo summarizes one admission shard of a sharded service: its
+// region size, its projected sub-network, and its live epoch/queue state.
+type ShardInfo struct {
+	Shard    int `json:"shard"`
+	Machines int `json:"machines"`
+	Links    int `json:"links"`
+	Items    int `json:"items"`
+	Epochs   int `json:"epochs"`
+	Queue    int `json:"queue"`
 }

@@ -1,0 +1,604 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"datastaging/internal/model"
+	"datastaging/internal/serve"
+	"datastaging/internal/simtime"
+	"datastaging/internal/state"
+)
+
+// maxCutCandidates bounds how many alternative cut links the coordinator
+// tries per destination shard before giving up on routing to it.
+const maxCutCandidates = 8
+
+// legRec is one per-shard offer inside a round: the proposal plus the map
+// from leg-local request index to the submission's global request index
+// (-1 for synthetic border-staging requests).
+type legRec struct {
+	shard  int
+	prop   *serve.Proposal
+	reqMap []int
+}
+
+// cutPlan is the coordinator's routing decision for one destination shard
+// that holds no source: stage the item at border machine u (source shard),
+// carry it over the chosen cut link u→v, hand it to shard g with the copy
+// available at v from the cut transfer's arrival.
+type cutPlan struct {
+	group int // destination shard
+	link  model.LinkID
+	u, v  model.MachineID
+	dur   time.Duration
+
+	// How the coordinator learns when the copy exists at u: a synthetic
+	// staging request in leg A (borderIdx ≥ 0), an existing leg-A
+	// destination at u (uDestIdx ≥ 0), or u already being a source
+	// (uSrcAvail).
+	borderIdx int
+	uDestIdx  int
+	uSrcAvail simtime.Instant
+
+	// vDest is the global request index delivered directly by the cut
+	// arrival (v itself is a destination), -1 otherwise. lateDest records a
+	// v-destination dropped because the cut arrives past its deadline while
+	// the rest of the group still rides the round.
+	vDest    int
+	lateDest int
+
+	start  simtime.Instant // committed cut slot (set when the group succeeds)
+	failed string          // non-empty: why this group got no route this round
+}
+
+// submitCross runs the two-level offer/commit round for a submission whose
+// sources and destinations span shards. One coordinator at a time (xmu):
+// it builds one leg per involved shard (speculative Propose, engine lock
+// held), reserves cut-link slots on its own ledger, and commits everything
+// only once the round's shape is final — any abort rolls every engine back
+// bit-identically via its checkpoint.
+func (s *Service) submitCross(sub serve.Submission, srcShard int) (*Ticket, error) {
+	s.xmu.Lock()
+	defer s.xmu.Unlock()
+
+	// Classify: which sources and which request indices live where.
+	srcIn := make(map[int][]serve.SourceSpec)
+	destIn := make(map[int][]int)
+	for _, src := range sub.Sources {
+		k := s.plan.Assign[src.Machine]
+		srcIn[k] = append(srcIn[k], src)
+	}
+	for i, rq := range sub.Requests {
+		k := s.plan.Assign[rq.Machine]
+		destIn[k] = append(destIn[k], i)
+	}
+	var selfGroups, cutGroups []int
+	for g := range destIn {
+		if g == srcShard {
+			continue
+		}
+		if len(srcIn[g]) > 0 {
+			selfGroups = append(selfGroups, g)
+		} else {
+			cutGroups = append(cutGroups, g)
+		}
+	}
+	sort.Ints(selfGroups)
+	sort.Ints(cutGroups)
+
+	// Candidate cut links per cut group: best bandwidth first, earliest
+	// window on ties, capped. A group with no candidate can never be
+	// reached from the source shard — its requests are rejected outright.
+	cands := make(map[int][]model.LinkID)
+	for _, id := range s.cut {
+		l := s.base.Network.Link(id)
+		if s.plan.Assign[l.From] != srcShard {
+			continue
+		}
+		g := s.plan.Assign[l.To]
+		if len(srcIn[g]) > 0 || len(destIn[g]) == 0 || g == srcShard {
+			continue
+		}
+		cands[g] = append(cands[g], id)
+	}
+	// Rank each group's candidates by how likely the whole round is to
+	// close: a feasible ledger slot that delivers before the group's
+	// tightest deadline beats an infeasible one, a border machine that
+	// already holds or receives a copy in leg A (no staging leg to get
+	// rejected) beats one that needs staging, then earliest estimated
+	// delivery, then bandwidth. The slot estimate ignores staging time —
+	// the round itself re-checks with the true ready instant — but on a
+	// windowed oversubscribed network it prunes the links whose window
+	// cannot carry the item at all.
+	now := s.engines[srcShard].Now()
+	attempts := 1
+	for g, ids := range cands {
+		minDL := simtime.Never
+		for _, gi := range destIn[g] {
+			if dl := sub.Requests[gi].Deadline.Instant(); dl < minDL {
+				minDL = dl
+			}
+		}
+		type rank struct {
+			feasible bool            // ledger slot delivers before the group deadline
+			direct   bool            // v is itself a destination: the cut delivers it
+			free     bool            // u already holds or receives a copy in leg A
+			arr      simtime.Instant // estimated delivery of the cut transfer
+			bw       int64
+		}
+		ranks := make(map[model.LinkID]rank, len(ids))
+		for _, id := range ids {
+			l := s.base.Network.Link(id)
+			dur := l.TransferDuration(sub.SizeBytes)
+			r := rank{arr: simtime.Never, bw: l.BandwidthBPS}
+			if start, ok := s.ledger[id].EarliestSlot(now, dur); ok {
+				r.arr = start.Add(dur)
+				r.feasible = r.arr <= minDL
+			}
+			for _, ss := range sub.Sources {
+				if model.MachineID(ss.Machine) == l.From {
+					r.free = true
+				}
+			}
+			for _, gi := range destIn[srcShard] {
+				if model.MachineID(sub.Requests[gi].Machine) == l.From {
+					r.free = true
+				}
+			}
+			for _, gi := range destIn[g] {
+				if model.MachineID(sub.Requests[gi].Machine) == l.To {
+					r.direct = true
+				}
+			}
+			ranks[id] = r
+		}
+		sort.Slice(ids, func(a, b int) bool {
+			ra, rb := ranks[ids[a]], ranks[ids[b]]
+			if ra.feasible != rb.feasible {
+				return ra.feasible
+			}
+			if ra.direct != rb.direct {
+				return ra.direct
+			}
+			if ra.free != rb.free {
+				return ra.free
+			}
+			if ra.arr != rb.arr {
+				return ra.arr < rb.arr
+			}
+			if ra.bw != rb.bw {
+				return ra.bw > rb.bw
+			}
+			return ids[a] < ids[b]
+		})
+		if len(ids) > maxCutCandidates {
+			ids = ids[:maxCutCandidates]
+		}
+		cands[g] = ids
+		if len(ids) > attempts {
+			attempts = len(ids)
+		}
+	}
+
+	// Hold the submit-order lock of every shard that may mint an item for
+	// this round, ascending — the same hierarchy the local path uses.
+	involved := map[int]bool{srcShard: true}
+	for _, g := range selfGroups {
+		involved[g] = true
+	}
+	for _, g := range cutGroups {
+		involved[g] = true
+	}
+	var locks []int
+	for k := range involved {
+		locks = append(locks, k)
+	}
+	sort.Ints(locks)
+	for _, k := range locks {
+		s.smu[k].Lock()
+	}
+	defer func() {
+		for i := len(locks) - 1; i >= 0; i-- {
+			s.smu[locks[i]].Unlock()
+		}
+	}()
+
+	gid := s.allocGID(sub)
+	now = s.engines[srcShard].Now() // re-read under the submit-order locks
+
+	var legs []legRec
+	var plans []*cutPlan
+	var roundErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		legs, plans, roundErr = s.tryRound(sub, srcShard, srcIn, destIn, selfGroups, cutGroups, cands, now, attempt)
+		if roundErr != nil {
+			s.freeGID(gid, sub)
+			return nil, roundErr
+		}
+		allRouted := true
+		for _, cp := range plans {
+			if cp.failed != "" {
+				allRouted = false
+			}
+		}
+		if allRouted || attempt == attempts-1 {
+			break
+		}
+		// A group missed its route; roll the whole round back and retry
+		// with the next candidate links.
+		for i := len(legs) - 1; i >= 0; i-- {
+			legs[i].prop.Abort()
+		}
+		s.mRollbacks.Inc()
+	}
+
+	// Commit phase: register each leg's item slot, then commit its
+	// proposal (the registry entry must precede the engine's snapshot
+	// publish), then reserve the cut slots on the coordinator ledger.
+	verdicts := make([]serve.RequestVerdict, len(sub.Requests))
+	for i, rq := range sub.Requests {
+		verdicts[i] = serve.RequestVerdict{
+			Request:    model.RequestID{Item: model.ItemID(gid), Index: i},
+			Machine:    rq.Machine,
+			Status:     serve.StatusRejected,
+			Deadline:   rq.Deadline,
+			Reason:     "cross-shard: no feasible offer/commit round",
+			BlamedLink: -1,
+		}
+	}
+	var legIDs []string
+	var route []state.Transfer
+	for _, leg := range legs {
+		s.gmu.Lock()
+		s.reg[leg.shard] = append(s.reg[leg.shard], gid)
+		s.gmu.Unlock()
+		t := leg.prop.Commit()
+		legIDs = append(legIDs, t.ID())
+		gv := s.projs[leg.shard].ViewToGlobal(t.View(), gid)
+		for k, gi := range leg.reqMap {
+			if gi < 0 {
+				continue
+			}
+			v := gv.Requests[k]
+			v.Request = model.RequestID{Item: model.ItemID(gid), Index: gi}
+			verdicts[gi] = v
+		}
+		route = append(route, gv.Route...)
+	}
+	var cuts []state.Transfer
+	for _, cp := range plans {
+		if cp.failed != "" {
+			for _, gi := range destIn[cp.group] {
+				verdicts[gi].Reason = cp.failed
+				verdicts[gi].BlamedLink = int(cp.link)
+			}
+			continue
+		}
+		if err := s.ledger[cp.link].Commit(cp.start, cp.dur); err != nil {
+			// Unreachable: the slot came from EarliestSlot under xmu.
+			panic(fmt.Sprintf("shard: cut ledger commit: %v", err))
+		}
+		arr := cp.start.Add(cp.dur)
+		cuts = append(cuts, state.Transfer{
+			Item:     model.ItemID(gid),
+			Link:     cp.link,
+			From:     cp.u,
+			To:       cp.v,
+			Start:    cp.start,
+			Duration: cp.dur,
+			Arrival:  arr,
+		})
+		if cp.vDest >= 0 {
+			verdicts[cp.vDest].Status = serve.StatusAdmitted
+			verdicts[cp.vDest].Completion = serve.Instant(arr)
+			verdicts[cp.vDest].Reason = ""
+			verdicts[cp.vDest].BlamedLink = 0
+		}
+		if cp.lateDest >= 0 {
+			verdicts[cp.lateDest].Reason = fmt.Sprintf(
+				"cross-shard: cut link %d delivers after the deadline", cp.link)
+			verdicts[cp.lateDest].BlamedLink = int(cp.link)
+		}
+	}
+	if len(cuts) > 0 {
+		s.gmu.Lock()
+		s.cutTransfers = append(s.cutTransfers, cuts...)
+		s.gmu.Unlock()
+		route = append(route, cuts...)
+	}
+
+	status := serve.StatusRejected
+	for i := range verdicts {
+		if verdicts[i].Status == serve.StatusAdmitted {
+			status = serve.StatusAdmitted
+			break
+		}
+	}
+	view := serve.TicketView{
+		Status:   status,
+		Item:     gid,
+		Epoch:    serve.Instant(now),
+		Arrived:  serve.Instant(now),
+		Requests: verdicts,
+		Route:    route,
+	}
+	s.gmu.Lock()
+	id := fmt.Sprintf("x-%d", s.nextCross)
+	s.nextCross++
+	view.ID = id
+	s.cross[id] = &crossTicket{view: view, legs: legIDs}
+	s.gmu.Unlock()
+	s.mCross.Inc()
+	return &Ticket{id: id, gid: gid, view: view, done: closedChan}, nil
+}
+
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// tryRound builds and speculatively plans one round: leg A on the source
+// shard (its sources, its destinations, plus one staging request per
+// border machine), one self-contained leg per destination shard that holds
+// its own source, and one leg B per cut group with the copy available at
+// the cut arrival. On return every surviving proposal holds its engine
+// lock; groups that found no route this round carry a non-empty failed
+// reason in their cutPlan. A non-nil error means the round was fully
+// aborted (draining or a wedged engine).
+func (s *Service) tryRound(
+	sub serve.Submission, srcShard int,
+	srcIn map[int][]serve.SourceSpec, destIn map[int][]int,
+	selfGroups, cutGroups []int, cands map[int][]model.LinkID,
+	now simtime.Instant, attempt int,
+) (legs []legRec, plans []*cutPlan, err error) {
+	abortAll := func() {
+		for i := len(legs) - 1; i >= 0; i-- {
+			legs[i].prop.Abort()
+		}
+	}
+
+	// Routing decisions for this attempt.
+	for _, g := range cutGroups {
+		ids := cands[g]
+		if len(ids) == 0 {
+			plans = append(plans, &cutPlan{
+				group: g, link: -1, borderIdx: -1, uDestIdx: -1, vDest: -1, lateDest: -1,
+				failed: fmt.Sprintf("cross-shard: no cut link from shard %d to shard %d", srcShard, g),
+			})
+			continue
+		}
+		idx := attempt
+		if idx >= len(ids) {
+			idx = len(ids) - 1
+		}
+		l := s.base.Network.Link(ids[idx])
+		cp := &cutPlan{
+			group: g, link: l.ID, u: l.From, v: l.To,
+			dur:       l.TransferDuration(sub.SizeBytes),
+			borderIdx: -1, uDestIdx: -1, vDest: -1, lateDest: -1,
+		}
+		for _, gi := range destIn[g] {
+			if sub.Requests[gi].Machine == int(cp.v) {
+				cp.vDest = gi
+			}
+		}
+		plans = append(plans, cp)
+	}
+
+	// Leg A: the source shard's own load plus border staging.
+	legA := serve.Submission{Name: sub.Name, SizeBytes: sub.SizeBytes}
+	legA.Sources = append(legA.Sources, srcIn[srcShard]...)
+	var reqMapA []int
+	for _, gi := range destIn[srcShard] {
+		legA.Requests = append(legA.Requests, sub.Requests[gi])
+		reqMapA = append(reqMapA, gi)
+	}
+	type borderReq struct {
+		deadline simtime.Instant
+		priority int
+	}
+	border := make(map[model.MachineID]*borderReq)
+	for _, cp := range plans {
+		if cp.failed != "" {
+			continue
+		}
+		// When u already holds a copy (source) or already receives one
+		// (leg-A destination), no staging request is needed.
+		src := false
+		for _, ss := range srcIn[srcShard] {
+			if model.MachineID(ss.Machine) == cp.u {
+				cp.uSrcAvail = ss.Available.Instant()
+				src = true
+				break
+			}
+		}
+		if src {
+			continue
+		}
+		dest := false
+		for j, gi := range reqMapA {
+			if model.MachineID(sub.Requests[gi].Machine) == cp.u {
+				cp.uDestIdx = j
+				dest = true
+				break
+			}
+		}
+		if dest {
+			continue
+		}
+		// Staging deadline: the group's tightest deadline minus the cut
+		// duration — the latest instant staging can finish and still leave
+		// the cut a chance. Leg-B admission enforces the real deadlines.
+		minDL := simtime.Never
+		maxPri := 0
+		for _, gi := range destIn[cp.group] {
+			if dl := sub.Requests[gi].Deadline.Instant(); dl < minDL {
+				minDL = dl
+			}
+			if p := sub.Requests[gi].Priority; p > maxPri {
+				maxPri = p
+			}
+		}
+		dl := minDL.Add(-cp.dur)
+		if dl <= now {
+			cp.failed = fmt.Sprintf("cross-shard: staging window closed for cut link %d", cp.link)
+			continue
+		}
+		if b, ok := border[cp.u]; ok {
+			if dl < b.deadline {
+				b.deadline = dl
+			}
+			if maxPri > b.priority {
+				b.priority = maxPri
+			}
+		} else {
+			border[cp.u] = &borderReq{deadline: dl, priority: maxPri}
+		}
+	}
+	var borderMs []model.MachineID
+	for u := range border {
+		borderMs = append(borderMs, u)
+	}
+	sort.Slice(borderMs, func(a, b int) bool { return borderMs[a] < borderMs[b] })
+	borderIdx := make(map[model.MachineID]int)
+	for _, u := range borderMs {
+		borderIdx[u] = len(legA.Requests)
+		legA.Requests = append(legA.Requests, serve.RequestSpec{
+			Machine:  int(u),
+			Deadline: serve.Instant(border[u].deadline),
+			Priority: border[u].priority,
+		})
+		reqMapA = append(reqMapA, -1)
+	}
+	for _, cp := range plans {
+		if cp.failed == "" && cp.uDestIdx < 0 && cp.uSrcAvail == 0 {
+			if j, ok := borderIdx[cp.u]; ok {
+				cp.borderIdx = j
+			}
+		}
+	}
+
+	var legAProp *serve.Proposal
+	if len(legA.Requests) > 0 {
+		lsub, lerr := s.projs[srcShard].ToLocal(legA)
+		if lerr != nil {
+			abortAll()
+			return nil, nil, lerr
+		}
+		legAProp, err = s.engines[srcShard].Propose(lsub)
+		if err != nil {
+			abortAll()
+			return nil, nil, err
+		}
+		legs = append(legs, legRec{shard: srcShard, prop: legAProp, reqMap: reqMapA})
+	}
+
+	// Self-contained legs: destination shards with their own sources.
+	for _, g := range selfGroups {
+		legG := serve.Submission{Name: sub.Name, SizeBytes: sub.SizeBytes}
+		legG.Sources = append(legG.Sources, srcIn[g]...)
+		var reqMap []int
+		for _, gi := range destIn[g] {
+			legG.Requests = append(legG.Requests, sub.Requests[gi])
+			reqMap = append(reqMap, gi)
+		}
+		lsub, lerr := s.projs[g].ToLocal(legG)
+		if lerr != nil {
+			abortAll()
+			return nil, nil, lerr
+		}
+		prop, perr := s.engines[g].Propose(lsub)
+		if perr != nil {
+			abortAll()
+			return nil, nil, perr
+		}
+		legs = append(legs, legRec{shard: g, prop: prop, reqMap: reqMap})
+	}
+
+	// Cut groups: slot the cut transfer after the copy exists at u, then
+	// leg B distributes from v inside the destination shard.
+	for _, cp := range plans {
+		if cp.failed != "" {
+			continue
+		}
+		t1 := cp.uSrcAvail
+		if cp.borderIdx >= 0 || cp.uDestIdx >= 0 {
+			j := cp.borderIdx
+			if j < 0 {
+				j = cp.uDestIdx
+			}
+			var ok bool
+			t1, ok = legAProp.Completion(j)
+			if !ok {
+				cp.failed = fmt.Sprintf("cross-shard: staging at machine %d rejected by shard %d", cp.u, srcShard)
+				continue
+			}
+		}
+		ready := t1
+		if now > ready {
+			ready = now
+		}
+		start, ok := s.ledger[cp.link].EarliestSlot(ready, cp.dur)
+		if !ok {
+			cp.failed = fmt.Sprintf("cross-shard: no free slot on cut link %d", cp.link)
+			continue
+		}
+		arr := start.Add(cp.dur)
+		if cp.vDest >= 0 && arr > sub.Requests[cp.vDest].Deadline.Instant() {
+			if len(destIn[cp.group]) == 1 {
+				cp.failed = fmt.Sprintf("cross-shard: cut link %d delivers after the deadline at machine %d", cp.link, cp.v)
+				continue
+			}
+			// v's own request misses the cut arrival; drop it alone and let
+			// the rest of the group still ride this round.
+			cp.lateDest, cp.vDest = cp.vDest, -1
+		}
+		var reqMap []int
+		legB := serve.Submission{Name: sub.Name, SizeBytes: sub.SizeBytes}
+		legB.Sources = []serve.SourceSpec{{Machine: int(cp.v), Available: serve.Instant(arr)}}
+		for _, gi := range destIn[cp.group] {
+			if gi == cp.vDest || gi == cp.lateDest {
+				continue
+			}
+			legB.Requests = append(legB.Requests, sub.Requests[gi])
+			reqMap = append(reqMap, gi)
+		}
+		cp.start = start
+		if len(legB.Requests) == 0 {
+			continue // the cut arrival itself serves the only destination
+		}
+		lsub, lerr := s.projs[cp.group].ToLocal(legB)
+		if lerr != nil {
+			abortAll()
+			return nil, nil, lerr
+		}
+		prop, perr := s.engines[cp.group].Propose(lsub)
+		if perr != nil {
+			abortAll()
+			return nil, nil, perr
+		}
+		if cp.vDest < 0 && !anyAdmitted(prop, len(reqMap)) {
+			// Nothing in the group is deliverable: drop the leg and the
+			// cut rather than ship a copy nobody uses.
+			prop.Abort()
+			cp.failed = fmt.Sprintf("cross-shard: shard %d admitted none of the group", cp.group)
+			continue
+		}
+		legs = append(legs, legRec{shard: cp.group, prop: prop, reqMap: reqMap})
+	}
+	return legs, plans, nil
+}
+
+// anyAdmitted reports whether the proposal satisfies at least one of its
+// first n requests.
+func anyAdmitted(p *serve.Proposal, n int) bool {
+	for k := 0; k < n; k++ {
+		if _, ok := p.Completion(k); ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,178 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"datastaging/internal/model"
+	"datastaging/internal/obs"
+	"datastaging/internal/obs/lifecycle"
+	"datastaging/internal/serve"
+	"datastaging/internal/testnet"
+)
+
+// newHTTPService boots the two-shard 4-machine service from
+// TestCrossShardAdmit behind its HTTP handler, with auditing on so the
+// trace endpoints are live.
+func newHTTPService(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	b := testnet.NewBuilder()
+	ms := b.Machines(4, 1<<40)
+	b.Link(ms[0], ms[1], 0, 24*time.Hour, 1e9)
+	b.Link(ms[1], ms[0], 0, 24*time.Hour, 1e9)
+	b.Link(ms[2], ms[3], 0, 24*time.Hour, 1e9)
+	b.Link(ms[3], ms[2], 0, 24*time.Hour, 1e9)
+	b.Link(ms[0], ms[2], 0, 24*time.Hour, 1e9)
+	sc := b.Build("twoshard")
+
+	p := &Plan{Shards: [][]model.MachineID{{0, 1}, {2, 3}}}
+	if err := p.Validate(sc.Network); err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	rec := lifecycle.New(lifecycle.Options{Obs: o})
+	svc, err := New(sc, p, Options{Engine: serve.Options{
+		Config: cfgShard(o), VirtualClock: true, MaxBatch: 1, QueueCap: 64,
+		Audit: rec,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return svc, srv
+}
+
+func getJSON(t *testing.T, url string, wantCode int, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+}
+
+func postJSON(t *testing.T, url, body string, wantCode int, v any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("POST %s: decode: %v", url, err)
+		}
+	}
+}
+
+// TestHTTPSharded drives the full HTTP surface of the sharded service:
+// local and cross-shard submissions, ticket and trace lookups, the merged
+// schedule, advance, the partition info endpoints, and the error paths.
+func TestHTTPSharded(t *testing.T) {
+	_, srv := newHTTPService(t)
+	base := srv.URL
+
+	getJSON(t, base+"/healthz", http.StatusOK, nil)
+
+	// A local submission admits inside shard 0 with no coordination.
+	var local serve.TicketView
+	postJSON(t, base+"/v1/requests?wait=1", `{
+		"sizeBytes": 1048576,
+		"sources":  [{"machine": 0}],
+		"requests": [{"machine": 1, "deadline": "2h", "priority": 2}]
+	}`, http.StatusAccepted, &local)
+	if !strings.HasPrefix(local.ID, "s0-") || local.Status != serve.StatusAdmitted {
+		t.Fatalf("local ticket = %q status %q, want a shard-0 admit", local.ID, local.Status)
+	}
+
+	// A spanning submission takes the offer/commit path.
+	var cross serve.TicketView
+	postJSON(t, base+"/v1/requests?wait=1", `{
+		"sizeBytes": 1048576,
+		"sources":  [{"machine": 0}],
+		"requests": [{"machine": 3, "deadline": "2h", "priority": 1}]
+	}`, http.StatusAccepted, &cross)
+	if cross.ID != "x-0" || cross.Status != serve.StatusAdmitted {
+		t.Fatalf("cross ticket = %q status %q, want x-0 admitted", cross.ID, cross.Status)
+	}
+
+	// Malformed and invalid submissions map to 400.
+	postJSON(t, base+"/v1/requests", `{"unknown": 1}`, http.StatusBadRequest, nil)
+	postJSON(t, base+"/v1/requests", `{"sizeBytes": 1}`, http.StatusBadRequest, nil)
+
+	// Ticket lookups for both kinds, and a 404 for a stranger.
+	var tv serve.TicketView
+	getJSON(t, base+"/v1/requests/"+local.ID, http.StatusOK, &tv)
+	if tv.Status != serve.StatusAdmitted {
+		t.Fatalf("%s lookup status %q", local.ID, tv.Status)
+	}
+	getJSON(t, base+"/v1/requests/x-0", http.StatusOK, &tv)
+	if tv.Status != serve.StatusAdmitted {
+		t.Fatalf("x-0 lookup status %q", tv.Status)
+	}
+	getJSON(t, base+"/v1/requests/nope", http.StatusNotFound, nil)
+
+	// Trace of a cross ticket concatenates its legs' audit trails.
+	var tr serve.TraceView
+	getJSON(t, base+"/v1/requests/x-0/trace", http.StatusOK, &tr)
+	if tr.ID != "x-0" || len(tr.Records) == 0 {
+		t.Fatalf("x-0 trace: id %q, %d records", tr.ID, len(tr.Records))
+	}
+	getJSON(t, base+"/v1/requests/nope/trace", http.StatusNotFound, nil)
+
+	// The audit stream is NDJSON with one line per record.
+	resp, err := http.Get(base + "/v1/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("audit content type %q", ct)
+	}
+	if !strings.Contains(string(body), `"ticket"`) {
+		t.Fatalf("audit stream has no records: %q", body)
+	}
+
+	// The merged schedule covers both shards and the cut.
+	var sched serve.ScheduleView
+	getJSON(t, base+"/v1/schedule", http.StatusOK, &sched)
+	if sched.Satisfied != 2 {
+		t.Fatalf("schedule satisfied = %d, want 2", sched.Satisfied)
+	}
+
+	// Advance moves every shard's virtual clock; bad bodies are rejected.
+	postJSON(t, base+"/v1/advance", `{"to": "1h"}`, http.StatusOK, &sched)
+	postJSON(t, base+"/v1/advance", `not json`, http.StatusBadRequest, nil)
+
+	// Partition info: the service-wide view and one shard's own.
+	var info serve.Info
+	getJSON(t, base+"/v1/info", http.StatusOK, &info)
+	if len(info.Shards) != 2 || info.CutLinks != 1 {
+		t.Fatalf("info = %+v, want 2 shards / 1 cut link", info)
+	}
+	getJSON(t, base+"/v1/shards/1/info", http.StatusOK, nil)
+	getJSON(t, base+"/v1/shards/9/info", http.StatusNotFound, nil)
+	getJSON(t, base+"/v1/shards/x/info", http.StatusNotFound, nil)
+}

@@ -1,0 +1,327 @@
+// Package shard horizontally scales the admission service: the network is
+// partitioned into K regions, each region gets its own serve.Engine over a
+// projected sub-network, and a thin coordinator settles the cross-shard
+// minority through an offer/commit round (Mesos-style two-level
+// scheduling: shards own their resources and decide locally; the
+// coordinator only composes offers it cannot decide alone).
+//
+// The package has three layers: Plan (the partition and its validation),
+// Projection (global↔local coordinate translation for one region), and
+// Service (the router front-end that preserves the whole stagesvc HTTP
+// surface — local submissions go straight to their shard's engine with
+// zero coordination, cross-shard submissions run the offer/commit round,
+// and /v1/schedule merges every shard's committed transfers plus the
+// coordinator's cut-link transfers back into global coordinates).
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"datastaging/internal/model"
+)
+
+// Plan is a partition of a network's machines into K shards.
+type Plan struct {
+	// Shards lists each region's machines in ascending ID order.
+	Shards [][]model.MachineID `json:"shards"`
+	// Assign maps every machine ID to its shard index (derived from
+	// Shards by Validate/normalize).
+	Assign []int `json:"-"`
+}
+
+// NumShards returns K.
+func (p *Plan) NumShards() int { return len(p.Shards) }
+
+// Validate checks the plan against a network — every machine in exactly
+// one shard, every listed machine in range, no empty shard — and fills
+// Assign. A valid plan may still contain internally disconnected regions;
+// those are reported by Report, not rejected, because the local engine
+// simply rejects requests it cannot route.
+func (p *Plan) Validate(n *model.Network) error {
+	if len(p.Shards) == 0 {
+		return fmt.Errorf("shard: plan has no shards")
+	}
+	if len(p.Shards) > n.NumMachines() {
+		return fmt.Errorf("shard: %d shards for %d machines; every shard needs at least one machine",
+			len(p.Shards), n.NumMachines())
+	}
+	assign := make([]int, n.NumMachines())
+	for i := range assign {
+		assign[i] = -1
+	}
+	for s, ms := range p.Shards {
+		if len(ms) == 0 {
+			return fmt.Errorf("shard: shard %d is empty", s)
+		}
+		for _, m := range ms {
+			if int(m) < 0 || int(m) >= len(assign) {
+				return fmt.Errorf("shard: shard %d lists machine %d, out of range [0,%d)", s, m, len(assign))
+			}
+			if assign[m] != -1 {
+				return fmt.Errorf("shard: machine %d appears in shards %d and %d", m, assign[m], s)
+			}
+			assign[m] = s
+		}
+		sort.Slice(ms, func(a, b int) bool { return ms[a] < ms[b] })
+	}
+	for m, s := range assign {
+		if s == -1 {
+			return fmt.Errorf("shard: machine %d is in no shard", m)
+		}
+	}
+	p.Assign = assign
+	return nil
+}
+
+// CutLinks returns the IDs of every virtual link whose endpoints live in
+// different shards, ascending. Those links are excluded from every
+// projected sub-network; only the coordinator commits transfers on them.
+// Call after Validate.
+func (p *Plan) CutLinks(n *model.Network) []model.LinkID {
+	var out []model.LinkID
+	for i := range n.Links {
+		l := &n.Links[i]
+		if p.Assign[l.From] != p.Assign[l.To] {
+			out = append(out, l.ID)
+		}
+	}
+	return out
+}
+
+// Report describes a validated plan for operators: per-shard sizes, the
+// cut, and any region that is not internally connected (requests whose
+// route would need to leave the region are rejected by that shard).
+type Report struct {
+	Shards   int   `json:"shards"`
+	Machines []int `json:"machines"`
+	// Links counts each shard's in-region virtual links.
+	Links []int `json:"links"`
+	// CutLinks is the severed-link count; CutBandwidthBPS sums their
+	// bandwidth (the capacity the partition leaves to the coordinator).
+	CutLinks        int   `json:"cutLinks"`
+	CutBandwidthBPS int64 `json:"cutBandwidthBPS"`
+	// Disconnected lists shards whose induced sub-network is not strongly
+	// connected (some in-region pair has no in-region route).
+	Disconnected []int `json:"disconnected,omitempty"`
+}
+
+// Report computes the plan's report against a network. Call after
+// Validate.
+func (p *Plan) Report(n *model.Network) Report {
+	rep := Report{
+		Shards:   len(p.Shards),
+		Machines: make([]int, len(p.Shards)),
+		Links:    make([]int, len(p.Shards)),
+	}
+	for s, ms := range p.Shards {
+		rep.Machines[s] = len(ms)
+	}
+	for i := range n.Links {
+		l := &n.Links[i]
+		if p.Assign[l.From] != p.Assign[l.To] {
+			rep.CutLinks++
+			rep.CutBandwidthBPS += l.BandwidthBPS
+		} else {
+			rep.Links[p.Assign[l.From]]++
+		}
+	}
+	for s := range p.Shards {
+		if !p.shardConnected(n, s) {
+			rep.Disconnected = append(rep.Disconnected, s)
+		}
+	}
+	return rep
+}
+
+// shardConnected reports whether shard s's induced sub-network is strongly
+// connected (trivially true for a single machine).
+func (p *Plan) shardConnected(n *model.Network, s int) bool {
+	ms := p.Shards[s]
+	if len(ms) <= 1 {
+		return true
+	}
+	local := make(map[model.MachineID]int, len(ms))
+	for i, m := range ms {
+		local[m] = i
+	}
+	fwd := make([][]int, len(ms))
+	bwd := make([][]int, len(ms))
+	for i := range n.Links {
+		l := &n.Links[i]
+		if p.Assign[l.From] == s && p.Assign[l.To] == s {
+			f, t := local[l.From], local[l.To]
+			fwd[f] = append(fwd[f], t)
+			bwd[t] = append(bwd[t], f)
+		}
+	}
+	return reaches(fwd) == len(ms) && reaches(bwd) == len(ms)
+}
+
+func reaches(adj [][]int) int {
+	seen := make([]bool, len(adj))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count
+}
+
+// Greedy partitions the network into k balanced regions with a small edge
+// cut: k seeds spread evenly across the ID space grow in one multi-source
+// breadth-first wave over the undirected link graph — each machine joins
+// the region that reaches it first (Voronoi growth), capped at ceil(m/k)
+// machines per region, which keeps regions connected wherever the topology
+// allows. Machines every capped region walled off join the smallest
+// adjacent region; machines no region can reach at all (disconnected
+// topology) fall to the smallest region overall. Deterministic — same
+// network and k, same plan.
+func Greedy(n *model.Network, k int) (*Plan, error) {
+	m := n.NumMachines()
+	if k <= 0 {
+		return nil, fmt.Errorf("shard: need at least one shard, got %d", k)
+	}
+	if k > m {
+		return nil, fmt.Errorf("shard: %d shards for %d machines; every shard needs at least one machine", k, m)
+	}
+	adj := make([][]model.MachineID, m)
+	for i := range n.Links {
+		l := &n.Links[i]
+		adj[l.From] = append(adj[l.From], l.To)
+		adj[l.To] = append(adj[l.To], l.From)
+	}
+	for _, a := range adj {
+		sort.Slice(a, func(x, y int) bool { return a[x] < a[y] })
+	}
+	assign := make([]int, m)
+	for i := range assign {
+		assign[i] = -1
+	}
+	limit := (m + k - 1) / k
+	sizes := make([]int, k)
+	queue := make([]model.MachineID, 0, m)
+	for s := 0; s < k; s++ {
+		seed := model.MachineID(s * m / k)
+		for assign[seed] != -1 {
+			seed++ // seeds collide only when m/k rounds down hard
+		}
+		assign[seed] = s
+		sizes[s]++
+		queue = append(queue, seed)
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		s := assign[u]
+		for _, v := range adj[u] {
+			if assign[v] != -1 || sizes[s] >= limit {
+				continue
+			}
+			assign[v] = s
+			sizes[s]++
+			queue = append(queue, v)
+		}
+	}
+	// Leftovers: every region that could reach them filled up first. Join
+	// the smallest adjacent region (keeps the region connected); a machine
+	// with no assigned neighbor at all falls to the smallest region.
+	// Iterate until stable so chains of leftovers attach one by one.
+	for remaining := m - len(queue); remaining > 0; {
+		progressed := false
+		for i := range assign {
+			if assign[i] != -1 {
+				continue
+			}
+			best := -1
+			for _, v := range adj[i] {
+				if s := assign[v]; s != -1 && (best == -1 || sizes[s] < sizes[best]) {
+					best = s
+				}
+			}
+			if best == -1 {
+				continue
+			}
+			assign[i] = best
+			sizes[best]++
+			remaining--
+			progressed = true
+		}
+		if !progressed {
+			for i := range assign {
+				if assign[i] != -1 {
+					continue
+				}
+				small := 0
+				for s := 1; s < k; s++ {
+					if sizes[s] < sizes[small] {
+						small = s
+					}
+				}
+				assign[i] = small
+				sizes[small]++
+				remaining--
+			}
+		}
+	}
+	p := &Plan{Shards: make([][]model.MachineID, k)}
+	for i, s := range assign {
+		p.Shards[s] = append(p.Shards[s], model.MachineID(i))
+	}
+	if err := p.Validate(n); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// planFile is the operator-supplied shard map document: an explicit
+// machine list per shard.
+type planFile struct {
+	Shards [][]int `json:"shards"`
+}
+
+// ReadPlan decodes an operator shard map ({"shards": [[0,1],[2,3]]}) and
+// validates it against the network.
+func ReadPlan(r io.Reader, n *model.Network) (*Plan, error) {
+	var pf planFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&pf); err != nil {
+		return nil, fmt.Errorf("shard: bad plan document: %w", err)
+	}
+	p := &Plan{Shards: make([][]model.MachineID, len(pf.Shards))}
+	for s, ms := range pf.Shards {
+		for _, m := range ms {
+			p.Shards[s] = append(p.Shards[s], model.MachineID(m))
+		}
+	}
+	if err := p.Validate(n); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ReadPlanFile is ReadPlan over a file path (the -shard-map flag).
+func ReadPlanFile(path string, n *model.Network) (*Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := ReadPlan(f, n)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}

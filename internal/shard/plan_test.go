@@ -1,0 +1,203 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"datastaging/internal/model"
+	"datastaging/internal/scenario"
+	"datastaging/internal/testnet"
+)
+
+// ringNet builds n machines in a bidirectional ring (i↔i+1, wrapping) with
+// generous capacity and day-long link windows.
+func ringNet(t testing.TB, n int, bps int64) *scenario.Scenario {
+	t.Helper()
+	b := testnet.NewBuilder()
+	ms := b.Machines(n, 1<<40)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		b.Link(ms[i], ms[j], 0, 24*time.Hour, bps)
+		b.Link(ms[j], ms[i], 0, 24*time.Hour, bps)
+	}
+	return b.Build("ring")
+}
+
+func TestGreedyPartition(t *testing.T) {
+	sc := ringNet(t, 16, 1e9)
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		p, err := Greedy(sc.Network, k)
+		if err != nil {
+			t.Fatalf("Greedy(%d): %v", k, err)
+		}
+		if p.NumShards() != k {
+			t.Fatalf("Greedy(%d): got %d shards", k, p.NumShards())
+		}
+		seen := 0
+		for _, ms := range p.Shards {
+			if len(ms) == 0 {
+				t.Fatalf("Greedy(%d): empty shard", k)
+			}
+			seen += len(ms)
+		}
+		if seen != 16 {
+			t.Fatalf("Greedy(%d): %d machines assigned, want 16", k, seen)
+		}
+		// A contiguous ring partition cuts exactly 2k directed links (k
+		// boundaries, two directions each) — the greedy BFS growth should
+		// find contiguous regions on a ring.
+		if k > 1 {
+			if cut := p.CutLinks(sc.Network); len(cut) != 2*k {
+				t.Errorf("Greedy(%d): %d cut links, want %d", k, len(cut), 2*k)
+			}
+		}
+	}
+	if _, err := Greedy(sc.Network, 0); err == nil {
+		t.Error("Greedy(0): want error")
+	}
+	if _, err := Greedy(sc.Network, 17); err == nil {
+		t.Error("Greedy(17) on 16 machines: want error")
+	}
+	// Determinism: same inputs, same plan.
+	a, _ := Greedy(sc.Network, 4)
+	b, _ := Greedy(sc.Network, 4)
+	for s := range a.Shards {
+		if len(a.Shards[s]) != len(b.Shards[s]) {
+			t.Fatalf("Greedy not deterministic: shard %d sizes differ", s)
+		}
+		for i := range a.Shards[s] {
+			if a.Shards[s][i] != b.Shards[s][i] {
+				t.Fatalf("Greedy not deterministic: shard %d differs", s)
+			}
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	sc := ringNet(t, 4, 1e9)
+	cases := []struct {
+		name   string
+		shards [][]model.MachineID
+		want   string
+	}{
+		{"no shards", nil, "no shards"},
+		{"empty shard", [][]model.MachineID{{0, 1, 2, 3}, {}}, "empty"},
+		{"duplicate", [][]model.MachineID{{0, 1}, {1, 2, 3}}, "appears in shards"},
+		{"missing", [][]model.MachineID{{0, 1}, {2}}, "in no shard"},
+		{"out of range", [][]model.MachineID{{0, 1}, {2, 3, 4}}, "out of range"},
+		{"too many shards", [][]model.MachineID{{0}, {1}, {2}, {3}, {0}}, "every shard needs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := &Plan{Shards: tc.shards}
+			err := p.Validate(sc.Network)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate: got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+	p := &Plan{Shards: [][]model.MachineID{{1, 0}, {3, 2}}}
+	if err := p.Validate(sc.Network); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if p.Assign[0] != 0 || p.Assign[2] != 1 {
+		t.Fatalf("Assign not filled: %v", p.Assign)
+	}
+	if p.Shards[0][0] != 0 || p.Shards[1][0] != 2 {
+		t.Fatalf("shard machine lists not sorted: %v", p.Shards)
+	}
+}
+
+func TestPlanReportDisconnected(t *testing.T) {
+	// 0↔1 and 2↔3 connected pairs, one directed bridge 1→2. Putting {1,2}
+	// in one shard leaves that region with only the 1→2 direction — not
+	// strongly connected.
+	b := testnet.NewBuilder()
+	ms := b.Machines(4, 1<<40)
+	b.Link(ms[0], ms[1], 0, time.Hour, 1e9)
+	b.Link(ms[1], ms[0], 0, time.Hour, 1e9)
+	b.Link(ms[2], ms[3], 0, time.Hour, 1e9)
+	b.Link(ms[3], ms[2], 0, time.Hour, 1e9)
+	b.Link(ms[1], ms[2], 0, time.Hour, 1e9)
+	sc := b.Build("bridge")
+
+	p := &Plan{Shards: [][]model.MachineID{{0, 3}, {1, 2}}}
+	if err := p.Validate(sc.Network); err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Report(sc.Network)
+	if len(rep.Disconnected) != 2 {
+		t.Errorf("Disconnected = %v, want both shards (shard 0 has no internal links either)", rep.Disconnected)
+	}
+	if rep.CutLinks != 4 {
+		t.Errorf("CutLinks = %d, want 4", rep.CutLinks)
+	}
+
+	q := &Plan{Shards: [][]model.MachineID{{0, 1}, {2, 3}}}
+	if err := q.Validate(sc.Network); err != nil {
+		t.Fatal(err)
+	}
+	qr := q.Report(sc.Network)
+	if len(qr.Disconnected) != 0 {
+		t.Errorf("Disconnected = %v, want none", qr.Disconnected)
+	}
+	if qr.CutLinks != 1 || qr.CutBandwidthBPS != 1e9 {
+		t.Errorf("cut = %d links %d bps, want the single bridge", qr.CutLinks, qr.CutBandwidthBPS)
+	}
+}
+
+func TestReadPlan(t *testing.T) {
+	sc := ringNet(t, 4, 1e9)
+	p, err := ReadPlan(strings.NewReader(`{"shards": [[0,1],[2,3]]}`), sc.Network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumShards() != 2 || p.Assign[3] != 1 {
+		t.Fatalf("bad plan: %+v", p)
+	}
+	if _, err := ReadPlan(strings.NewReader(`{"shards": [[0,1]], "extra": 1}`), sc.Network); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ReadPlan(strings.NewReader(`{"shards": [[0,1],[1,2,3]]}`), sc.Network); err == nil {
+		t.Error("duplicate machine accepted")
+	}
+}
+
+func TestProjectRenumbers(t *testing.T) {
+	sc := ringNet(t, 8, 1e9)
+	p, err := Greedy(sc.Network, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		pr, err := Project(sc, p, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := pr.Scenario.Network
+		if n.NumMachines() != len(p.Shards[s]) {
+			t.Fatalf("shard %d: %d machines projected, want %d", s, n.NumMachines(), len(p.Shards[s]))
+		}
+		for i := range n.Machines {
+			if int(n.Machines[i].ID) != i {
+				t.Fatalf("shard %d: machine %d has ID %d", s, i, n.Machines[i].ID)
+			}
+		}
+		for i := range n.Links {
+			l := &n.Links[i]
+			if int(l.ID) != i {
+				t.Fatalf("shard %d: link %d has ID %d", s, i, l.ID)
+			}
+			// Round-trip: the global endpoints must be in-shard and map back.
+			gf, gt := pr.ToGlobalM[l.From], pr.ToGlobalM[l.To]
+			if p.Assign[gf] != s || p.Assign[gt] != s {
+				t.Fatalf("shard %d: projected link %d spans shards", s, i)
+			}
+			gl := sc.Network.Link(pr.ToGlobalL[i])
+			if gl.From != gf || gl.To != gt || gl.BandwidthBPS != l.BandwidthBPS {
+				t.Fatalf("shard %d: link %d does not round-trip", s, i)
+			}
+		}
+	}
+}

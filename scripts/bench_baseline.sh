@@ -29,7 +29,7 @@ set -eu
 out=${1:-BENCH_core.json}
 benchtime=${BENCHTIME:-1s}
 bench=${BENCH:-.}
-pkgs="./internal/core/ ./internal/dijkstra/ ./internal/simtime/ ./internal/resource/ ./internal/serve/ ./internal/dynamic/"
+pkgs="./internal/core/ ./internal/dijkstra/ ./internal/simtime/ ./internal/resource/ ./internal/serve/ ./internal/dynamic/ ./internal/shard/"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
